@@ -1,0 +1,69 @@
+//! Baseline error types.
+
+use std::error::Error;
+use std::fmt;
+
+use flstore_cloud::blob::StoreError;
+use flstore_workloads::request::RequestId;
+use flstore_workloads::run::WorkloadError;
+
+/// Failures while a baseline serves a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// No ingested round satisfies the request.
+    NoData {
+        /// The offending request.
+        request: RequestId,
+    },
+    /// The data plane lost an object.
+    Store(StoreError),
+    /// The workload rejected its inputs.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NoData { request } => {
+                write!(f, "no ingested data satisfies {request}")
+            }
+            BaselineError::Store(e) => write!(f, "data plane: {e}"),
+            BaselineError::Workload(e) => write!(f, "workload: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::NoData { .. } => None,
+            BaselineError::Store(e) => Some(e),
+            BaselineError::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for BaselineError {
+    fn from(e: StoreError) -> Self {
+        BaselineError::Store(e)
+    }
+}
+
+impl From<WorkloadError> for BaselineError {
+    fn from(e: WorkloadError) -> Self {
+        BaselineError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = BaselineError::NoData {
+            request: RequestId::new(5),
+        };
+        assert!(e.to_string().contains("req-5"));
+    }
+}

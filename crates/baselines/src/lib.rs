@@ -1,0 +1,21 @@
+//! # flstore-baselines — conventional FL aggregator architectures
+//!
+//! The two baselines the paper evaluates against (§5.1, Fig. 3):
+//!
+//! * **ObjStore-Agg** — SageMaker-class aggregator + S3-class object store.
+//! * **Cache-Agg** — SageMaker-class aggregator + ElastiCache-class
+//!   in-memory cluster (object-store backed).
+//!
+//! Both run the *same* workload implementations as FLStore
+//! (`flstore-workloads`), so latency/cost differences are purely
+//! architectural: separated planes pay plane-crossing communication per
+//! request and always-on infrastructure per hour.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agg;
+pub mod error;
+
+pub use agg::{AggregatorBaseline, AggregatorConfig, DataPlaneKind};
+pub use error::BaselineError;

@@ -1,0 +1,79 @@
+//! Criterion: Cache Engine dictionary operations (paper §5.5 claims
+//! sub-millisecond retrieve/use/remove; these land in nanoseconds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::engine::CacheEngine;
+use flstore_fl::ids::{ClientId, JobId, Round};
+use flstore_fl::metadata::MetaKey;
+use flstore_serverless::function::FunctionId;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+
+fn key(i: u32) -> MetaKey {
+    MetaKey::update(JobId::new(1), Round::new(i / 16), ClientId::new(i % 16))
+}
+
+fn populated(n: u32) -> CacheEngine {
+    let mut engine = CacheEngine::new();
+    for i in 0..n {
+        engine.record(
+            key(i),
+            vec![FunctionId::from_raw(u64::from(i % 64))],
+            ByteSize::from_mb(83),
+            SimTime::ZERO,
+        );
+    }
+    engine
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_engine");
+    group.sample_size(30);
+
+    group.bench_function("record", |b| {
+        let mut engine = populated(10_000);
+        let mut i = 10_000u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            engine.record(
+                key(i),
+                vec![FunctionId::from_raw(u64::from(i % 64))],
+                ByteSize::from_mb(83),
+                SimTime::ZERO,
+            );
+        });
+    });
+
+    group.bench_function("locate", |b| {
+        let engine = populated(10_000);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(engine.locations(&key(i)));
+        });
+    });
+
+    group.bench_function("touch", |b| {
+        let mut engine = populated(10_000);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(engine.touch(&key(i)));
+        });
+    });
+
+    group.bench_function("drop_replica_10k_keys", |b| {
+        b.iter_with_setup(
+            || populated(10_000),
+            |mut engine| {
+                black_box(engine.drop_replica(FunctionId::from_raw(7)));
+            },
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion: caching-policy decision costs (on_ingest / on_request /
+//! victim selection) over a realistically sized cache index.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::engine::CacheEngine;
+use flstore_core::policy::{
+    CachingPolicy, EvictionDiscipline, ReactivePolicy, TailoredPolicy,
+};
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim};
+use flstore_fl::metadata::{round_blobs, MetaKey};
+use flstore_serverless::function::FunctionId;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+use flstore_workloads::request::{JobCatalog, RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::WorkloadKind;
+
+struct Fixture {
+    catalog: JobCatalog,
+    engine: CacheEngine,
+    last_keys: Vec<MetaKey>,
+    request: WorkloadRequest,
+}
+
+fn fixture() -> Fixture {
+    let cfg = FlJobConfig {
+        rounds: 12,
+        total_clients: 30,
+        clients_per_round: 10,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    };
+    let mut catalog = JobCatalog::new(cfg.job, cfg.model);
+    let mut engine = CacheEngine::new();
+    let mut last_keys = Vec::new();
+    let mut last_round = flstore_fl::ids::Round::ZERO;
+    for record in FlJobSim::new(cfg.clone()) {
+        catalog.observe_round(&record);
+        last_keys = round_blobs(&record, cfg.job, &cfg.model)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for k in &last_keys {
+            engine.record(
+                *k,
+                vec![FunctionId::from_raw(0)],
+                ByteSize::from_mb(45),
+                SimTime::ZERO,
+            );
+        }
+        last_round = record.round;
+    }
+    let request = WorkloadRequest::new(
+        RequestId::new(1),
+        WorkloadKind::MaliciousFiltering,
+        cfg.job,
+        last_round,
+        None,
+    );
+    Fixture {
+        catalog,
+        engine,
+        last_keys,
+        request,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("policy_decisions");
+    group.sample_size(30);
+
+    group.bench_function("tailored_on_ingest", |b| {
+        let mut policy = TailoredPolicy::new();
+        b.iter(|| black_box(policy.on_ingest(&f.last_keys, &f.catalog, &f.engine)));
+    });
+
+    group.bench_function("tailored_on_request", |b| {
+        let mut policy = TailoredPolicy::new();
+        b.iter(|| black_box(policy.on_request(&f.request, &f.catalog, &f.engine)));
+    });
+
+    group.bench_function("tailored_victims", |b| {
+        let mut policy = TailoredPolicy::new();
+        b.iter(|| black_box(policy.victims(ByteSize::from_mb(100), &f.engine)));
+    });
+
+    group.bench_function("lru_victims", |b| {
+        let mut policy = ReactivePolicy::new(EvictionDiscipline::Lru, 3);
+        b.iter(|| black_box(policy.victims(ByteSize::from_mb(100), &f.engine)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

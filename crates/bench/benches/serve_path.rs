@@ -1,0 +1,104 @@
+//! Criterion: end-to-end FLStore paths — round ingest and the cache-hit
+//! serve path (simulation-side CPU cost, not virtual latency).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::policy::TailoredPolicy;
+use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::WorkloadKind;
+
+fn job() -> FlJobConfig {
+    FlJobConfig {
+        rounds: 10,
+        total_clients: 30,
+        clients_per_round: 10,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    }
+}
+
+fn store_for(job: &FlJobConfig) -> FlStore {
+    let cfg = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&job.model)
+    };
+    FlStore::new(cfg, Box::new(TailoredPolicy::new()), job.job, job.model)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let job = job();
+    let records: Vec<RoundRecord> = FlJobSim::new(job.clone()).collect();
+    let mut group = c.benchmark_group("flstore_paths");
+    group.sample_size(20);
+
+    group.bench_function("ingest_round", |b| {
+        b.iter_with_setup(
+            || store_for(&job),
+            |mut store| {
+                let mut now = SimTime::ZERO;
+                for r in &records {
+                    black_box(store.ingest_round(now, r));
+                    now += SimDuration::from_secs(60);
+                }
+            },
+        );
+    });
+
+    group.bench_function("serve_p2_hit", |b| {
+        let mut store = store_for(&job);
+        let mut now = SimTime::ZERO;
+        for r in &records {
+            store.ingest_round(now, r);
+            now += SimDuration::from_secs(60);
+        }
+        let round = records.last().expect("rounds").round;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let request = WorkloadRequest::new(
+                RequestId::new(i),
+                WorkloadKind::MaliciousFiltering,
+                job.job,
+                round,
+                None,
+            );
+            now += SimDuration::from_secs(60);
+            black_box(store.serve(now, &request).expect("servable"));
+        });
+    });
+
+    group.bench_function("serve_p1_inference_hit", |b| {
+        let mut store = store_for(&job);
+        let mut now = SimTime::ZERO;
+        for r in &records {
+            store.ingest_round(now, r);
+            now += SimDuration::from_secs(60);
+        }
+        let round = records.last().expect("rounds").round;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let request = WorkloadRequest::new(
+                RequestId::new(i),
+                WorkloadKind::Inference,
+                job.job,
+                round,
+                None,
+            );
+            now += SimDuration::from_secs(60);
+            black_box(store.serve(now, &request).expect("servable"));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: Request Tracker operations (paper §5.5: <1 ms per op).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::tracker::RequestTracker;
+use flstore_serverless::function::FunctionId;
+use flstore_workloads::request::RequestId;
+
+fn bench_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("request_tracker");
+    group.sample_size(30);
+
+    group.bench_function("dispatch", |b| {
+        let tracker = RequestTracker::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tracker.dispatch(RequestId::new(i), vec![FunctionId::from_raw(i % 64)]);
+        });
+    });
+
+    group.bench_function("complete", |b| {
+        let tracker = RequestTracker::new();
+        for i in 0..100_000u64 {
+            tracker.dispatch(RequestId::new(i), vec![FunctionId::from_raw(i % 64)]);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(tracker.complete(RequestId::new(i)));
+        });
+    });
+
+    group.bench_function("status_read", |b| {
+        let tracker = RequestTracker::new();
+        for i in 0..100_000u64 {
+            tracker.dispatch(RequestId::new(i), vec![FunctionId::from_raw(i % 64)]);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(tracker.is_done(RequestId::new(i)));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker);
+criterion_main!(benches);

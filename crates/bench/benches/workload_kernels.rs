@@ -1,0 +1,62 @@
+//! Criterion: the numerical kernels behind the ten workloads, on a
+//! realistic 10-update round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+use flstore_fl::update::ModelUpdate;
+use flstore_workloads::apps;
+
+fn sample_round() -> RoundRecord {
+    let cfg = FlJobConfig {
+        rounds: 5,
+        total_clients: 30,
+        clients_per_round: 10,
+        malicious_fraction: 0.2,
+        weight_dim: 256,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    };
+    FlJobSim::new(cfg).last().expect("configured rounds")
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let record = sample_round();
+    let updates: Vec<&ModelUpdate> = record.updates.iter().collect();
+    let mut group = c.benchmark_group("workload_kernels");
+    group.sample_size(30);
+
+    group.bench_function("cosine_similarity_round", |b| {
+        b.iter(|| black_box(apps::cosine::run(&updates, &record.aggregate)));
+    });
+
+    group.bench_function("malicious_filtering_round", |b| {
+        b.iter(|| black_box(apps::filtering::run(&updates)));
+    });
+
+    group.bench_function("kmeans_clustering_round", |b| {
+        b.iter(|| black_box(apps::clustering::run(&updates, 5, 7)));
+    });
+
+    group.bench_function("incentives_leave_one_out", |b| {
+        b.iter(|| black_box(apps::incentives::run(&updates, &record.aggregate)));
+    });
+
+    group.bench_function("tier_scheduling_round", |b| {
+        b.iter(|| black_box(apps::sched_cluster::run(&updates)));
+    });
+
+    group.bench_function("inference_batch32", |b| {
+        b.iter(|| black_box(apps::inference::run(&record.aggregate, 32, 9)));
+    });
+
+    let metrics = [&record.metrics];
+    group.bench_function("oort_scheduling_pool30", |b| {
+        b.iter(|| black_box(apps::sched_perf::run(&metrics, 10)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerate the paper's tables and figures. See `flstore-bench` docs.
+
+use flstore_bench::{breakdown, headline, inventory, jobs, motivation, policies, robustness, Scale};
+
+const EXPERIMENTS: &[(&str, fn(Scale) -> serde_json::Value)] = &[
+    ("fig1", motivation::fig1_fig2_fig10),
+    ("fig4", breakdown::fig4),
+    ("fig7", headline::fig7_fig8),
+    ("fig9", headline::fig9_fig17),
+    ("fig11", policies::fig11),
+    ("fig12", robustness::fig12),
+    ("fig13", robustness::fig13_fig14),
+    ("fig15", headline::fig15_fig16),
+    ("fig18", policies::fig18),
+    ("fig19", inventory::fig19),
+    ("table1", inventory::table1),
+    ("table2", policies::table2),
+    ("jobs", jobs::jobs),
+    ("capacity", inventory::capacity),
+    ("overhead", inventory::overhead),
+];
+
+/// Aliases: a figure produced jointly with another maps to the same run.
+const ALIASES: &[(&str, &str)] = &[
+    ("fig2", "fig1"),
+    ("fig10", "fig1"),
+    ("fig8", "fig7"),
+    ("fig17", "fig9"),
+    ("fig14", "fig13"),
+    ("fig16", "fig15"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let scale = if fast { Scale::Fast } else { Scale::Full };
+    let targets: Vec<&str> = args.iter().filter(|a| *a != "--fast").map(|s| s.as_str()).collect();
+
+    let resolve = |name: &str| -> Option<&'static str> {
+        if EXPERIMENTS.iter().any(|(n, _)| *n == name) {
+            return EXPERIMENTS.iter().find(|(n, _)| *n == name).map(|(n, _)| *n);
+        }
+        ALIASES.iter().find(|(a, _)| *a == name).map(|(_, t)| *t)
+    };
+
+    let to_run: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else {
+        let mut chosen = Vec::new();
+        for t in &targets {
+            match resolve(t) {
+                Some(name) if !chosen.contains(&name) => chosen.push(name),
+                Some(_) => {}
+                None => {
+                    eprintln!("unknown experiment '{t}'");
+                    eprintln!(
+                        "available: all {} (+aliases {})",
+                        EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "),
+                        ALIASES.iter().map(|(a, _)| *a).collect::<Vec<_>>().join(" ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        chosen
+    };
+
+    println!(
+        "FLStore reproduction — experiment harness ({} scale)",
+        if fast { "fast" } else { "paper" }
+    );
+    for name in to_run {
+        let run = EXPERIMENTS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| *f)
+            .expect("resolved above");
+        let started = std::time::Instant::now();
+        let _ = run(scale);
+        println!("[{name} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}

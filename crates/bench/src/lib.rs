@@ -1,0 +1,34 @@
+//! # flstore-bench — the figure/table harness
+//!
+//! Regenerates every table and figure of the FLStore paper's evaluation
+//! from the workspace's simulators. Each experiment prints the same
+//! rows/series the paper reports and persists machine-readable JSON under
+//! `results/`.
+//!
+//! Run everything:
+//! ```sh
+//! cargo run --release -p flstore-bench --bin figures -- all
+//! ```
+//! or a single experiment (`fig7`, `table2`, `overhead`, ...):
+//! ```sh
+//! cargo run --release -p flstore-bench --bin figures -- fig12
+//! ```
+//! Append `--fast` for one-tenth-scale smoke runs.
+//!
+//! Criterion microbenches (`cargo bench`) cover the per-operation costs of
+//! the Cache Engine, Request Tracker, caching policies, workload kernels,
+//! and the end-to-end serve path.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod breakdown;
+pub mod headline;
+pub mod inventory;
+pub mod jobs;
+pub mod motivation;
+pub mod policies;
+pub mod robustness;
+pub mod util;
+
+pub use util::Scale;

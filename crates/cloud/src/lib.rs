@@ -1,0 +1,36 @@
+//! # flstore-cloud — cloud service simulators
+//!
+//! The data- and compute-plane services the FLStore paper evaluates against,
+//! rebuilt as deterministic simulators on the `flstore-sim` virtual clock:
+//!
+//! * [`objstore`] — S3/MinIO-class object store: durable, cheap at rest,
+//!   slow, per-request fees, plane-crossing transfer charges.
+//! * [`memcache`] — ElastiCache-class in-memory LRU cache: fast but billed
+//!   per node-hour around the clock.
+//! * [`vm`] — SageMaker-class dedicated instances (the baseline aggregator).
+//! * [`network`] — path models (RTT, per-request overhead, bandwidth).
+//! * [`pricing`] — the AWS-calibrated price sheet every cost figure uses.
+//! * [`compute`] — work-demand vs. compute-capability separation.
+//! * [`blob`] — keys, blobs (logical size + optional reduced payload),
+//!   operation receipts, store errors.
+//!
+//! Design rule: every operation returns an [`blob::OpReceipt`] — a
+//! `(latency, cost-breakdown)` pair — so callers compose end-to-end request
+//! latency and dollars without the services knowing who calls them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blob;
+pub mod compute;
+pub mod memcache;
+pub mod network;
+pub mod objstore;
+pub mod pricing;
+pub mod vm;
+
+pub use blob::{Blob, ObjectKey, OpReceipt, StoreError};
+pub use memcache::{MemCache, MemCacheConfig};
+pub use network::NetworkProfile;
+pub use objstore::{ObjectStore, ObjectStoreConfig};
+pub use vm::{VmInstance, VmType};

@@ -1,0 +1,166 @@
+//! Network latency models.
+//!
+//! Transfers between the data plane and the compute plane dominate
+//! non-training latency in the baselines (§2.3 of the paper measures ~89 s of
+//! communication against ~2.8 s of computation). [`NetworkProfile`] captures
+//! the three parameters that matter at this granularity: round-trip setup
+//! time, per-request overhead, and sustained bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimDuration;
+
+/// A point-to-point network path model.
+///
+/// Latency of moving `b` bytes in one request:
+/// `rtt + per_request + b / bandwidth`.
+///
+/// Batched requests ([`NetworkProfile::batch_transfer_time`]) pay the RTT
+/// once, per-request overhead for each operation (pipelined over
+/// `parallelism` connections), and share the path bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use flstore_cloud::network::NetworkProfile;
+/// use flstore_sim::bytes::ByteSize;
+///
+/// let s3 = NetworkProfile::OBJECT_STORE;
+/// let one_update = s3.transfer_time(ByteSize::from_mb_f64(82.7));
+/// assert!(one_update.as_secs_f64() > 8.0); // ~10 MB/s effective
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Connection/authentication setup paid once per exchange.
+    pub rtt: SimDuration,
+    /// Fixed overhead per individual request (metadata lookup, HTTP framing).
+    pub per_request: SimDuration,
+    /// Sustained path bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl NetworkProfile {
+    /// Object-store path (S3-class): 30 ms RTT, 20 ms/request, ~10 MB/s
+    /// effective single-tenant throughput.
+    ///
+    /// Calibrated so that fetching one 10-client round of
+    /// EfficientNetV2-S-sized updates (~827 MB) takes ≈ 85–90 s, matching the
+    /// paper's measured average communication latency of 89 s (§2.3).
+    pub const OBJECT_STORE: NetworkProfile = NetworkProfile {
+        rtt: SimDuration::from_millis(30),
+        per_request: SimDuration::from_millis(20),
+        bandwidth_bytes_per_sec: 10_000_000,
+    };
+
+    /// In-memory cache path (ElastiCache-class): 1 ms RTT, 0.5 ms/request,
+    /// ~40 MB/s effective throughput to the aggregator.
+    pub const MEM_CACHE: NetworkProfile = NetworkProfile {
+        rtt: SimDuration::from_millis(1),
+        per_request: SimDuration::from_micros(500),
+        bandwidth_bytes_per_sec: 40_000_000,
+    };
+
+    /// Function-to-function / intra-VPC path used for FLStore routing and
+    /// replica synchronization: 1 ms RTT, ~100 MB/s.
+    pub const INTRA_CLOUD: NetworkProfile = NetworkProfile {
+        rtt: SimDuration::from_millis(1),
+        per_request: SimDuration::from_micros(200),
+        bandwidth_bytes_per_sec: 100_000_000,
+    };
+
+    /// Client-to-cloud path for issuing requests and returning (small)
+    /// results: 40 ms RTT, ~5 MB/s uplink.
+    pub const CLIENT_WAN: NetworkProfile = NetworkProfile {
+        rtt: SimDuration::from_millis(40),
+        per_request: SimDuration::from_millis(5),
+        bandwidth_bytes_per_sec: 5_000_000,
+    };
+
+    /// Time to move `bytes` in a single request.
+    pub fn transfer_time(&self, bytes: ByteSize) -> SimDuration {
+        self.rtt + self.per_request + self.payload_time(bytes)
+    }
+
+    /// Time to move `total_bytes` split across `requests` operations using up
+    /// to `parallelism` concurrent connections that share the path bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn batch_transfer_time(
+        &self,
+        requests: usize,
+        total_bytes: ByteSize,
+        parallelism: usize,
+    ) -> SimDuration {
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        if requests == 0 {
+            return SimDuration::ZERO;
+        }
+        let waves = requests.div_ceil(parallelism) as u64;
+        self.rtt + self.per_request * waves + self.payload_time(total_bytes)
+    }
+
+    /// Pure payload streaming time at path bandwidth.
+    pub fn payload_time(&self, bytes: ByteSize) -> SimDuration {
+        if bytes.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_store_round_fetch_matches_paper_scale() {
+        // 10 clients x EfficientNetV2-S (82.7 MB) fetched in one batch.
+        let round = ByteSize::from_mb_f64(82.7) * 10;
+        let t = NetworkProfile::OBJECT_STORE.batch_transfer_time(10, round, 10);
+        let secs = t.as_secs_f64();
+        assert!(
+            (80.0..100.0).contains(&secs),
+            "expected ~89 s communication, got {secs}"
+        );
+    }
+
+    #[test]
+    fn cache_is_faster_than_object_store() {
+        let payload = ByteSize::from_mb(100);
+        let s3 = NetworkProfile::OBJECT_STORE.transfer_time(payload);
+        let redis = NetworkProfile::MEM_CACHE.transfer_time(payload);
+        assert!(redis < s3);
+        assert!(redis.as_secs_f64() > 2.0); // still non-trivial
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_rtt() {
+        let t = NetworkProfile::OBJECT_STORE.transfer_time(ByteSize::ZERO);
+        assert_eq!(t, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn batch_amortizes_per_request_overhead() {
+        let bytes = ByteSize::from_mb(10);
+        let serial: SimDuration = (0..10)
+            .map(|_| NetworkProfile::OBJECT_STORE.transfer_time(bytes))
+            .sum();
+        let batched = NetworkProfile::OBJECT_STORE.batch_transfer_time(10, bytes * 10, 10);
+        assert!(batched < serial);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let t = NetworkProfile::MEM_CACHE.batch_transfer_time(0, ByteSize::ZERO, 4);
+        assert_eq!(t, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_panics() {
+        let _ = NetworkProfile::MEM_CACHE.batch_transfer_time(1, ByteSize::from_mb(1), 0);
+    }
+}

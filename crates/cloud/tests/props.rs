@@ -1,0 +1,103 @@
+//! Property-based invariants for the cloud service simulators.
+
+use proptest::prelude::*;
+
+use flstore_cloud::blob::{Blob, ObjectKey};
+use flstore_cloud::memcache::{MemCache, MemCacheConfig};
+use flstore_cloud::network::NetworkProfile;
+use flstore_cloud::objstore::ObjectStore;
+use flstore_cloud::pricing::CacheNodePricing;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+
+proptest! {
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(a in 0u64..10_000_000_000, b in 0u64..10_000_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for profile in [
+            NetworkProfile::OBJECT_STORE,
+            NetworkProfile::MEM_CACHE,
+            NetworkProfile::INTRA_CLOUD,
+            NetworkProfile::CLIENT_WAN,
+        ] {
+            prop_assert!(
+                profile.transfer_time(ByteSize::from_bytes(lo))
+                    <= profile.transfer_time(ByteSize::from_bytes(hi))
+            );
+        }
+    }
+
+    #[test]
+    fn objstore_tracks_bytes_exactly(sizes in prop::collection::vec(0u64..1_000_000_000, 1..30)) {
+        let mut store = ObjectStore::default();
+        let mut expected = 0u64;
+        for (i, size) in sizes.iter().enumerate() {
+            store.put_async(SimTime::ZERO, ObjectKey::new(format!("k{i}")),
+                            Blob::synthetic(ByteSize::from_bytes(*size)));
+            expected += size;
+        }
+        prop_assert_eq!(store.bytes_stored().as_bytes(), expected);
+        prop_assert_eq!(store.len(), sizes.len());
+        // Deleting everything returns to zero.
+        for i in 0..sizes.len() {
+            store.delete(SimTime::ZERO, &ObjectKey::new(format!("k{i}")));
+        }
+        prop_assert_eq!(store.bytes_stored(), ByteSize::ZERO);
+        prop_assert!(store.is_empty());
+    }
+
+    #[test]
+    fn objstore_get_returns_what_was_put(size in 0u64..1_000_000_000) {
+        let mut store = ObjectStore::default();
+        let key = ObjectKey::new("object");
+        store.put_async(SimTime::ZERO, key.clone(), Blob::synthetic(ByteSize::from_bytes(size)));
+        let (blob, receipt) = store.get(SimTime::ZERO, &key).expect("present");
+        prop_assert_eq!(blob.logical_size().as_bytes(), size);
+        prop_assert!(receipt.latency >= NetworkProfile::OBJECT_STORE.transfer_time(ByteSize::ZERO));
+    }
+
+    #[test]
+    fn memcache_never_exceeds_capacity(
+        capacity_mb in 10u64..200,
+        sizes in prop::collection::vec(1u64..100, 1..50),
+    ) {
+        let cfg = MemCacheConfig {
+            node: CacheNodePricing {
+                capacity: ByteSize::from_mb(capacity_mb),
+                per_node_hour: 1.0,
+            },
+            nodes: 1,
+            ..MemCacheConfig::default()
+        };
+        let mut cache = MemCache::new(cfg, SimTime::ZERO);
+        for (i, size) in sizes.iter().enumerate() {
+            cache.set(SimTime::ZERO, ObjectKey::new(format!("k{i}")),
+                      Blob::synthetic(ByteSize::from_mb(*size)));
+            prop_assert!(cache.used() <= cache.capacity(),
+                "used {} exceeds capacity {}", cache.used(), cache.capacity());
+        }
+    }
+
+    #[test]
+    fn memcache_hits_after_set_within_capacity(size_mb in 1u64..50) {
+        let mut cache = MemCache::new(MemCacheConfig::default(), SimTime::ZERO);
+        let key = ObjectKey::new("hot");
+        cache.set(SimTime::ZERO, key.clone(), Blob::synthetic(ByteSize::from_mb(size_mb)));
+        let got = cache.get(SimTime::ZERO, &key);
+        prop_assert!(got.is_some());
+        prop_assert_eq!(got.expect("hit").0.logical_size(), ByteSize::from_mb(size_mb));
+    }
+
+    #[test]
+    fn batch_transfer_never_beats_payload_time(
+        requests in 1usize..50,
+        total in 0u64..10_000_000_000,
+        parallelism in 1usize..32,
+    ) {
+        let bytes = ByteSize::from_bytes(total);
+        for profile in [NetworkProfile::OBJECT_STORE, NetworkProfile::MEM_CACHE] {
+            let t = profile.batch_transfer_time(requests, bytes, parallelism);
+            prop_assert!(t >= profile.payload_time(bytes));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The Cache Engine (paper §4.2).
+//!
+//! Tracks where each metadata object lives across disaggregated function
+//! memories — the paper's dictionary
+//! `Tuple(Client, Round) → FunctionID`, generalized to replicated
+//! placements and asynchronous availability:
+//!
+//! * each key maps to one function per replica ring;
+//! * a prefetched object carries `available_at`, the instant its async
+//!   fetch from the persistent store completes;
+//! * per-key access metadata (insert/access sequence, frequency, size)
+//!   feeds the reactive eviction policies.
+
+use std::collections::HashMap;
+
+use flstore_fl::metadata::MetaKey;
+use flstore_serverless::function::FunctionId;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+
+/// Per-key cache metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheMeta {
+    /// Logical size of the cached object.
+    pub size: ByteSize,
+    /// Monotonic sequence at insertion (FIFO order).
+    pub inserted_seq: u64,
+    /// Monotonic sequence at last access (LRU order).
+    pub last_access_seq: u64,
+    /// Access count (LFU order).
+    pub frequency: u64,
+    /// When the object becomes readable (async prefetch completion).
+    pub available_at: SimTime,
+}
+
+/// Location and recency index over the serverless cache.
+///
+/// # Examples
+///
+/// ```
+/// use flstore_core::engine::CacheEngine;
+/// use flstore_fl::metadata::MetaKey;
+/// use flstore_fl::ids::{ClientId, JobId, Round};
+/// use flstore_serverless::function::FunctionId;
+/// use flstore_sim::bytes::ByteSize;
+/// use flstore_sim::time::SimTime;
+///
+/// let mut engine = CacheEngine::new();
+/// let key = MetaKey::update(JobId::new(1), Round::new(3), ClientId::new(7));
+/// engine.record(key, vec![FunctionId::from_raw(0)], ByteSize::from_mb(80), SimTime::ZERO);
+/// assert!(engine.contains(&key));
+/// assert_eq!(engine.locations(&key).unwrap(), &[FunctionId::from_raw(0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CacheEngine {
+    locations: HashMap<MetaKey, Vec<FunctionId>>,
+    meta: HashMap<MetaKey, CacheMeta>,
+    next_seq: u64,
+}
+
+impl CacheEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        CacheEngine::default()
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Whether `key` is cached (on any replica).
+    pub fn contains(&self, key: &MetaKey) -> bool {
+        self.locations.contains_key(key)
+    }
+
+    /// Replica locations of `key` (one entry per ring that holds it).
+    pub fn locations(&self, key: &MetaKey) -> Option<&[FunctionId]> {
+        self.locations.get(key).map(|v| v.as_slice())
+    }
+
+    /// Cache metadata of `key`.
+    pub fn meta(&self, key: &MetaKey) -> Option<&CacheMeta> {
+        self.meta.get(key)
+    }
+
+    /// Iterates over all cached keys.
+    pub fn keys(&self) -> impl Iterator<Item = &MetaKey> {
+        self.locations.keys()
+    }
+
+    /// Total logical bytes tracked (one replica's worth).
+    pub fn bytes_tracked(&self) -> ByteSize {
+        self.meta.values().map(|m| m.size).sum()
+    }
+
+    /// Registers a (replicated) placement. `available_at` is the instant the
+    /// object becomes readable — `now` for synchronously placed data, later
+    /// for async prefetches.
+    pub fn record(
+        &mut self,
+        key: MetaKey,
+        replicas: Vec<FunctionId>,
+        size: ByteSize,
+        available_at: SimTime,
+    ) {
+        let seq = self.bump();
+        self.locations.insert(key, replicas);
+        self.meta.insert(
+            key,
+            CacheMeta {
+                size,
+                inserted_seq: seq,
+                last_access_seq: seq,
+                frequency: 0,
+                available_at,
+            },
+        );
+    }
+
+    /// Marks an access to `key`, updating recency/frequency. Returns the
+    /// updated metadata, or `None` if the key is not cached.
+    pub fn touch(&mut self, key: &MetaKey) -> Option<CacheMeta> {
+        let seq = self.bump();
+        let meta = self.meta.get_mut(key)?;
+        meta.last_access_seq = seq;
+        meta.frequency += 1;
+        Some(*meta)
+    }
+
+    /// Removes a key entirely. Returns its former locations.
+    pub fn remove(&mut self, key: &MetaKey) -> Option<Vec<FunctionId>> {
+        self.meta.remove(key);
+        self.locations.remove(key)
+    }
+
+    /// Drops a single failed replica from every placement that referenced
+    /// it; keys left with zero replicas are removed and returned (their
+    /// data now only exists in the persistent store).
+    pub fn drop_replica(&mut self, failed: FunctionId) -> Vec<MetaKey> {
+        let mut orphaned = Vec::new();
+        for (key, replicas) in self.locations.iter_mut() {
+            replicas.retain(|f| *f != failed);
+            if replicas.is_empty() {
+                orphaned.push(*key);
+            }
+        }
+        for key in &orphaned {
+            self.locations.remove(key);
+            self.meta.remove(key);
+        }
+        orphaned
+    }
+
+    /// Adds a repaired replica location for `key` (after re-replication).
+    pub fn add_replica(&mut self, key: &MetaKey, replica: FunctionId) -> bool {
+        if let Some(replicas) = self.locations.get_mut(key) {
+            if !replicas.contains(&replica) {
+                replicas.push(replica);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Estimated resident memory of the engine's dictionaries, for the
+    /// paper's overhead analysis (§5.5).
+    pub fn estimated_memory(&self) -> ByteSize {
+        // MetaKey ≈ 24 B payload; CacheMeta = 40 B; Vec<FunctionId> ≈ 24 B
+        // header + 8 B/replica; two hash-map entries ≈ 2 × 48 B overhead.
+        let per_entry = 24 + 40 + 24 + 2 * 48;
+        let replicas: usize = self.locations.values().map(|v| 8 * v.len()).sum();
+        ByteSize::from_bytes((self.locations.len() * per_entry + replicas) as u64)
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flstore_fl::ids::{ClientId, JobId, Round};
+
+    fn key(round: u32, client: u32) -> MetaKey {
+        MetaKey::update(JobId::new(1), Round::new(round), ClientId::new(client))
+    }
+
+    fn fid(i: u64) -> FunctionId {
+        FunctionId::from_raw(i)
+    }
+
+    #[test]
+    fn record_touch_remove_lifecycle() {
+        let mut e = CacheEngine::new();
+        let k = key(1, 2);
+        e.record(k, vec![fid(0), fid(1)], ByteSize::from_mb(80), SimTime::ZERO);
+        assert_eq!(e.len(), 1);
+        let before = *e.meta(&k).expect("recorded");
+        let after = e.touch(&k).expect("cached");
+        assert!(after.last_access_seq > before.last_access_seq);
+        assert_eq!(after.frequency, 1);
+        assert_eq!(e.remove(&k), Some(vec![fid(0), fid(1)]));
+        assert!(e.is_empty());
+        assert!(e.touch(&k).is_none());
+    }
+
+    #[test]
+    fn drop_replica_cleans_up() {
+        let mut e = CacheEngine::new();
+        let a = key(1, 1);
+        let b = key(1, 2);
+        e.record(a, vec![fid(0), fid(1)], ByteSize::from_mb(10), SimTime::ZERO);
+        e.record(b, vec![fid(0)], ByteSize::from_mb(10), SimTime::ZERO);
+        let orphaned = e.drop_replica(fid(0));
+        assert_eq!(orphaned, vec![b]);
+        assert!(e.contains(&a));
+        assert_eq!(e.locations(&a).expect("a cached"), &[fid(1)]);
+        assert!(!e.contains(&b));
+    }
+
+    #[test]
+    fn add_replica_repairs() {
+        let mut e = CacheEngine::new();
+        let a = key(2, 1);
+        e.record(a, vec![fid(1)], ByteSize::from_mb(10), SimTime::ZERO);
+        assert!(e.add_replica(&a, fid(2)));
+        assert_eq!(e.locations(&a).expect("cached").len(), 2);
+        // Idempotent.
+        assert!(e.add_replica(&a, fid(2)));
+        assert_eq!(e.locations(&a).expect("cached").len(), 2);
+        assert!(!e.add_replica(&key(9, 9), fid(2)));
+    }
+
+    #[test]
+    fn availability_tracks_prefetch() {
+        let mut e = CacheEngine::new();
+        let k = key(3, 1);
+        let ready = SimTime::from_secs(100);
+        e.record(k, vec![fid(0)], ByteSize::from_mb(10), ready);
+        assert_eq!(e.meta(&k).expect("cached").available_at, ready);
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_entries() {
+        let mut e = CacheEngine::new();
+        for i in 0..1000 {
+            e.record(key(i, i), vec![fid(0)], ByteSize::from_mb(1), SimTime::ZERO);
+        }
+        let est = e.estimated_memory();
+        // Paper §5.5: Cache Engine ≈ 0.6 MB at 1000 concurrent requests.
+        assert!(est > ByteSize::from_kb(100), "{est}");
+        assert!(est < ByteSize::from_mb(2), "{est}");
+    }
+
+    #[test]
+    fn bytes_tracked_sums_sizes() {
+        let mut e = CacheEngine::new();
+        e.record(key(0, 0), vec![fid(0)], ByteSize::from_mb(80), SimTime::ZERO);
+        e.record(key(0, 1), vec![fid(0)], ByteSize::from_mb(20), SimTime::ZERO);
+        assert_eq!(e.bytes_tracked(), ByteSize::from_mb(100));
+    }
+}

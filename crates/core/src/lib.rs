@@ -1,0 +1,82 @@
+//! # flstore-core — FLStore: serverless storage + compute for FL non-training workloads
+//!
+//! The paper's primary contribution: a caching framework that unifies the
+//! data and compute planes on serverless functions, with caching policies
+//! tailored to the iterative access patterns of federated learning.
+//!
+//! * [`engine`] — the Cache Engine: `(client, round) → function` placement
+//!   index with replication and async-prefetch availability.
+//! * [`tracker`] — the Request Tracker: `request → ([functions], status)`.
+//! * [`policy`] — tailored (P1–P4), reactive (LRU/FIFO/LFU/Random), and
+//!   static-ablation caching policies.
+//! * [`store`] — [`FlStore`](store::FlStore): ingest rounds, serve requests
+//!   with locality-aware execution, replicate, fail over, re-fetch.
+//! * [`tenancy`] — [`MultiTenantStore`](tenancy::MultiTenantStore): isolated
+//!   per-job caches on one deployment (paper Appendix A).
+//! * [`metrics`] — per-request outcomes and experiment ledgers (shared
+//!   with the baselines via `flstore-workloads`).
+//! * [`error`] — error types.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flstore_core::policy::TailoredPolicy;
+//! use flstore_core::store::{FlStore, FlStoreConfig};
+//! use flstore_fl::ids::JobId;
+//! use flstore_fl::job::{FlJobConfig, FlJobSim};
+//! use flstore_sim::time::{SimDuration, SimTime};
+//! use flstore_workloads::request::{RequestId, WorkloadRequest};
+//! use flstore_workloads::taxonomy::WorkloadKind;
+//!
+//! // Train a small job, ingesting each round into FLStore.
+//! let cfg = FlJobConfig::quick_test(JobId::new(1));
+//! let mut store = FlStore::new(
+//!     FlStoreConfig::for_model(&cfg.model),
+//!     Box::new(TailoredPolicy::new()),
+//!     cfg.job,
+//!     cfg.model,
+//! );
+//! let mut now = SimTime::ZERO;
+//! let mut last_round = None;
+//! for record in FlJobSim::new(cfg.clone()) {
+//!     store.ingest_round(now, &record);
+//!     last_round = Some(record.round);
+//!     now += SimDuration::from_secs(60);
+//! }
+//! // Serve a malicious-filtering request for the latest round — a hit.
+//! let request = WorkloadRequest::new(
+//!     RequestId::new(1),
+//!     WorkloadKind::MaliciousFiltering,
+//!     cfg.job,
+//!     last_round.unwrap(),
+//!     None,
+//! );
+//! let served = store.serve(now, &request).expect("servable");
+//! assert_eq!(served.measured.cache_misses, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod policy;
+pub mod store;
+pub mod tenancy;
+pub mod tracker;
+
+/// Per-request outcomes and experiment ledgers (re-exported from
+/// `flstore-workloads::service`).
+pub mod metrics {
+    pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};
+}
+
+pub use engine::CacheEngine;
+pub use error::FlStoreError;
+pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};
+pub use policy::{
+    CachingPolicy, EvictionDiscipline, PolicyActions, ReactivePolicy, StaticPolicy, TailoredPolicy,
+};
+pub use store::{FlStore, FlStoreConfig, IngestReceipt, ServedRequest};
+pub use tenancy::MultiTenantStore;
+pub use tracker::RequestTracker;

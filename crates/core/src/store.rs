@@ -1,0 +1,618 @@
+//! FLStore: the unified data/compute plane (paper §4).
+//!
+//! Wires the pieces together: the [`CacheEngine`] tracks placements across
+//! function memories, the [`RequestTracker`] routes and monitors requests,
+//! a [`CachingPolicy`] classifies hot/cold data, the serverless
+//! [`Platform`] holds cached objects next to compute, and the persistent
+//! [`ObjectStore`] backs everything for durability.
+//!
+//! Request path (paper Fig. 6): request → tracker → engine lookup →
+//! locality-aware execution on the function(s) holding the data →
+//! policy-driven prefetch/evict → response. Misses fall back to the
+//! persistent store, exactly like conventional frameworks — which is why
+//! FLStore's worst case matches the baseline and its common case removes
+//! the communication bottleneck entirely.
+
+use flstore_cloud::blob::Blob;
+use flstore_cloud::network::NetworkProfile;
+use flstore_cloud::objstore::{ObjectStore, ObjectStoreConfig};
+use flstore_fl::ids::JobId;
+use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::{round_blobs, MetaKey, MetaValue};
+use flstore_fl::zoo::ModelArch;
+use flstore_serverless::function::{FunctionConfig, FunctionId};
+use flstore_serverless::platform::{Platform, PlatformConfig};
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::cost::CostBreakdown;
+use flstore_sim::latency::LatencyBreakdown;
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{JobCatalog, WorkloadRequest};
+use flstore_workloads::run::{execute, WorkloadOutcome};
+
+use std::collections::HashMap;
+
+use crate::engine::CacheEngine;
+use crate::error::FlStoreError;
+use flstore_workloads::service::{RequestOutcome, ServiceLedger};
+use crate::policy::CachingPolicy;
+use crate::tracker::RequestTracker;
+
+/// Configuration of an [`FlStore`] deployment.
+#[derive(Debug, Clone)]
+pub struct FlStoreConfig {
+    /// Seed for platform randomness (reclamation sampling).
+    pub seed: u64,
+    /// Function size (the paper uses 1 vCPU/2 GB for small models,
+    /// 2 vCPU/4 GB for large ones).
+    pub function_config: FunctionConfig,
+    /// Number of replica rings (the paper's FI: function instances per
+    /// cached object). 1 = no replication.
+    pub replication: usize,
+    /// Cache capacity per ring; `None` scales out with new functions as
+    /// needed (FLStore), `Some(half the working set)` models
+    /// FLStore-limited.
+    pub capacity_per_ring: Option<ByteSize>,
+    /// Serverless platform parameters (cold start, reclamation, billing).
+    pub platform: PlatformConfig,
+    /// Persistent-store parameters.
+    pub objstore: ObjectStoreConfig,
+    /// Fixed routing overhead per request (tracker + engine lookups; the
+    /// paper measures these dictionaries at <1 ms, §5.5).
+    pub routing_overhead: SimDuration,
+}
+
+impl FlStoreConfig {
+    /// The paper's deployment for a given model: function size tracks model
+    /// size (§5.1).
+    pub fn for_model(model: &ModelArch) -> Self {
+        let function_config = if model.size_mb > 50.0 {
+            FunctionConfig::LARGE
+        } else {
+            FunctionConfig::SMALL
+        };
+        FlStoreConfig {
+            seed: 0xF157,
+            function_config,
+            replication: 1,
+            capacity_per_ring: None,
+            platform: PlatformConfig::default(),
+            objstore: ObjectStoreConfig::default(),
+            routing_overhead: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// A served request: the workload result plus the measured latency/cost.
+#[derive(Debug, Clone)]
+pub struct ServedRequest {
+    /// The workload's computed output.
+    pub outcome: WorkloadOutcome,
+    /// Measured latency, cost, and cache behaviour.
+    pub measured: RequestOutcome,
+}
+
+/// Receipt for ingesting one round of FL metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Objects classified hot and cached.
+    pub cached: usize,
+    /// Objects evicted as obsolete.
+    pub evicted: usize,
+    /// Objects written through to the persistent store.
+    pub backed_up: usize,
+}
+
+/// The FLStore serving system.
+///
+/// # Examples
+///
+/// ```
+/// use flstore_core::store::{FlStore, FlStoreConfig};
+/// use flstore_core::policy::TailoredPolicy;
+/// use flstore_fl::ids::JobId;
+/// use flstore_fl::job::{FlJobConfig, FlJobSim};
+/// use flstore_sim::time::SimTime;
+///
+/// let cfg = FlJobConfig::quick_test(JobId::new(1));
+/// let mut store = FlStore::new(
+///     FlStoreConfig::for_model(&cfg.model),
+///     Box::new(TailoredPolicy::new()),
+///     cfg.job,
+///     cfg.model,
+/// );
+/// let mut sim = FlJobSim::new(cfg);
+/// let record = sim.next().expect("rounds");
+/// let receipt = store.ingest_round(SimTime::ZERO, &record);
+/// assert!(receipt.cached > 0);
+/// ```
+#[derive(Debug)]
+pub struct FlStore {
+    cfg: FlStoreConfig,
+    policy: Box<dyn CachingPolicy>,
+    platform: Platform,
+    engine: CacheEngine,
+    tracker: RequestTracker,
+    persistent: ObjectStore,
+    catalog: JobCatalog,
+    rings: Vec<Vec<FunctionId>>,
+    ring_of: HashMap<FunctionId, usize>,
+    ledger: ServiceLedger,
+    last_keepalive: SimTime,
+    faults_observed: u64,
+}
+
+impl FlStore {
+    /// Builds a deployment for one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.replication` is zero.
+    pub fn new(
+        cfg: FlStoreConfig,
+        policy: Box<dyn CachingPolicy>,
+        job: JobId,
+        model: ModelArch,
+    ) -> Self {
+        assert!(cfg.replication >= 1, "replication factor must be at least 1");
+        let platform = Platform::new(cfg.platform, cfg.seed);
+        let persistent = ObjectStore::new(cfg.objstore);
+        let rings = vec![Vec::new(); cfg.replication];
+        FlStore {
+            platform,
+            persistent,
+            engine: CacheEngine::new(),
+            tracker: RequestTracker::new(),
+            catalog: JobCatalog::new(job, model),
+            rings,
+            ring_of: HashMap::new(),
+            ledger: ServiceLedger::new(),
+            last_keepalive: SimTime::ZERO,
+            faults_observed: 0,
+            policy,
+            cfg,
+        }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The request/response ledger.
+    pub fn ledger(&self) -> &ServiceLedger {
+        &self.ledger
+    }
+
+    /// The cache engine (placement index).
+    pub fn engine(&self) -> &CacheEngine {
+        &self.engine
+    }
+
+    /// The request tracker.
+    pub fn tracker(&self) -> &RequestTracker {
+        &self.tracker
+    }
+
+    /// The serverless platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The persistent store.
+    pub fn persistent(&self) -> &ObjectStore {
+        &self.persistent
+    }
+
+    /// The job catalog.
+    pub fn catalog(&self) -> &JobCatalog {
+        &self.catalog
+    }
+
+    /// Replica reclamations observed so far.
+    pub fn faults_observed(&self) -> u64 {
+        self.faults_observed
+    }
+
+    /// Total cost over the experiment window ending at `now`: per-request
+    /// costs + background (backups, prefetches, ingestion, repair) +
+    /// keep-alive pings + persistent storage rent.
+    pub fn total_cost(&mut self, now: SimTime) -> CostBreakdown {
+        let mut total = self.ledger.total_cost();
+        total.infra += self.platform.billing().keepalive_cost;
+        total.storage += self.persistent.storage_cost(now);
+        total
+    }
+
+    /// Advances background processes (keep-alive pings) to `now`, handling
+    /// any reclamations they discover.
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.last_keepalive {
+            return;
+        }
+        let events = self.platform.run_keepalive(self.last_keepalive, now);
+        self.last_keepalive = now;
+        for (when, id) in events {
+            self.handle_reclaimed(when, id);
+        }
+    }
+
+    fn handle_reclaimed(&mut self, now: SimTime, id: FunctionId) {
+        self.faults_observed += 1;
+        // Keys that referenced this replica lose it; keys with surviving
+        // replicas are repaired by copying from a survivor (async,
+        // intra-cloud). Orphaned keys fall back to the persistent store on
+        // next access.
+        let affected: Vec<MetaKey> = self
+            .engine
+            .keys()
+            .filter(|k| {
+                self.engine
+                    .locations(k)
+                    .map(|l| l.contains(&id))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        let _orphaned = self.engine.drop_replica(id);
+        let ring = self.ring_of.get(&id).copied().unwrap_or(0);
+        for key in affected {
+            let Some(survivors) = self.engine.locations(&key).map(|l| l.to_vec()) else {
+                continue; // orphaned: persistent store is the fallback
+            };
+            let Some(source) = survivors.first().copied() else {
+                continue;
+            };
+            let blob = self
+                .platform
+                .instance(source)
+                .and_then(|i| i.object(&key.object_key()).cloned());
+            if let Some(blob) = blob {
+                let size = blob.logical_size();
+                if let Some(placed) = self.place_on_ring(now, ring, &key, blob) {
+                    self.engine.add_replica(&key, placed);
+                    // Repair billing: one invocation streaming the object.
+                    let dur = NetworkProfile::INTRA_CLOUD.transfer_time(size);
+                    let cost = self
+                        .cfg
+                        .platform
+                        .pricing
+                        .invocation(self.cfg.function_config.memory, dur);
+                    self.ledger.background_cost.compute += cost;
+                }
+            }
+        }
+    }
+
+    fn ring_used_bytes(&self, ring: usize) -> ByteSize {
+        self.rings[ring]
+            .iter()
+            .filter_map(|id| self.platform.instance(*id))
+            .map(|i| i.mem_used())
+            .sum()
+    }
+
+    /// Places a blob on one function of `ring`, spawning or evicting as the
+    /// configuration allows. Returns the hosting function, or `None` if the
+    /// object could not be cached.
+    fn place_on_ring(
+        &mut self,
+        now: SimTime,
+        ring: usize,
+        key: &MetaKey,
+        blob: Blob,
+    ) -> Option<FunctionId> {
+        let size = blob.logical_size();
+        // Capacity pressure: evict policy victims first so the placement
+        // below can succeed.
+        if let Some(cap) = self.cfg.capacity_per_ring {
+            let used = self.ring_used_bytes(ring);
+            if used + size > cap {
+                let need = (used + size).saturating_sub(cap);
+                let victims = self.policy.victims(need, &self.engine);
+                for v in victims {
+                    self.evict_key(&v);
+                }
+                if self.ring_used_bytes(ring) + size > cap {
+                    return None; // cannot fit even after shedding
+                }
+            }
+        }
+        // First fit among existing ring members.
+        let existing = self
+            .rings[ring]
+            .iter()
+            .copied()
+            .find(|id| {
+                self.platform
+                    .instance(*id)
+                    .map(|i| i.mem_free() >= size)
+                    .unwrap_or(false)
+            });
+        let target = match existing {
+            Some(id) => id,
+            None => {
+                let id = self.platform.spawn(now, self.cfg.function_config);
+                self.rings[ring].push(id);
+                self.ring_of.insert(id, ring);
+                id
+            }
+        };
+        match self
+            .platform
+            .store_object(now, target, key.object_key(), blob)
+        {
+            Ok(()) => Some(target),
+            Err(_) => None, // object larger than a whole function
+        }
+    }
+
+    fn cache_object(&mut self, now: SimTime, key: MetaKey, blob: Blob, available_at: SimTime) {
+        let size = blob.logical_size();
+        let mut replicas = Vec::with_capacity(self.cfg.replication);
+        for ring in 0..self.cfg.replication {
+            if let Some(id) = self.place_on_ring(now, ring, &key, blob.clone()) {
+                replicas.push(id);
+            }
+        }
+        if !replicas.is_empty() {
+            self.engine.record(key, replicas, size, available_at);
+        }
+    }
+
+    fn evict_key(&mut self, key: &MetaKey) {
+        if let Some(locations) = self.engine.remove(key) {
+            for id in locations {
+                let _ = self.platform.evict_object(id, &key.object_key());
+            }
+        }
+    }
+
+    /// Ingests one training round's metadata: write-through backup to the
+    /// persistent store, policy-driven hot classification into function
+    /// memory, and obsolete-data eviction.
+    pub fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) -> IngestReceipt {
+        self.advance(now);
+        self.catalog.observe_round(record);
+        let items = round_blobs(record, self.catalog.job(), self.catalog.model());
+        let keys: Vec<MetaKey> = items.iter().map(|(k, _)| *k).collect();
+
+        // Durability first: every object is backed up asynchronously.
+        let mut backed_up = 0;
+        let mut blob_of: HashMap<MetaKey, Blob> = HashMap::with_capacity(items.len());
+        for (key, blob) in items {
+            let cost = self
+                .persistent
+                .put_async(now, key.object_key(), blob.clone());
+            self.ledger.background_cost += cost;
+            blob_of.insert(key, blob);
+            backed_up += 1;
+        }
+
+        let actions = self.policy.on_ingest(&keys, &self.catalog, &self.engine);
+        let mut cached = 0;
+        for key in &actions.cache {
+            if let Some(blob) = blob_of.get(key) {
+                // Ingestion billing: one short invocation streams the object
+                // into function memory (data arrived with the round; no
+                // plane-crossing transfer).
+                let dur = NetworkProfile::INTRA_CLOUD.transfer_time(blob.logical_size());
+                let cost = self
+                    .cfg
+                    .platform
+                    .pricing
+                    .invocation(self.cfg.function_config.memory, dur);
+                self.ledger.background_cost.compute += cost;
+                self.cache_object(now, *key, blob.clone(), now);
+                cached += 1;
+            }
+        }
+        let mut evicted = 0;
+        for key in &actions.evict {
+            self.evict_key(key);
+            evicted += 1;
+        }
+        IngestReceipt {
+            cached,
+            evicted,
+            backed_up,
+        }
+    }
+
+    /// Serves one non-training request with locality-aware execution.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlStoreError::NoData`] when no ingested round satisfies the
+    ///   request;
+    /// * [`FlStoreError::Store`] when a miss cannot be satisfied by the
+    ///   persistent store either;
+    /// * [`FlStoreError::Workload`] when the workload rejects its inputs.
+    pub fn serve(&mut self, now: SimTime, request: &WorkloadRequest) -> Result<ServedRequest, FlStoreError> {
+        self.advance(now);
+        let needs = self.catalog.data_needs(request);
+        if needs.is_empty() {
+            return Err(FlStoreError::NoData { request: request.id });
+        }
+
+        let mut latency = LatencyBreakdown {
+            routing: self.cfg.routing_overhead,
+            ..LatencyBreakdown::ZERO
+        };
+        let mut cost = CostBreakdown::ZERO;
+        let mut recovered_from_fault = false;
+
+        // Liveness pass over every replica the needed keys reference.
+        let mut referenced: Vec<FunctionId> = needs
+            .iter()
+            .filter_map(|k| self.engine.locations(k))
+            .flatten()
+            .copied()
+            .collect();
+        referenced.sort_unstable();
+        referenced.dedup();
+        for id in referenced {
+            if let Ok(Some(_)) = self.platform.refresh(now, id) {
+                let had_needed = needs
+                    .iter()
+                    .any(|k| self.engine.locations(k).map(|l| l.contains(&id)).unwrap_or(false));
+                self.handle_reclaimed(now, id);
+                if had_needed {
+                    recovered_from_fault = true;
+                }
+            }
+        }
+
+        // Hit/miss classification (after fault handling).
+        let mut hit_keys: Vec<MetaKey> = Vec::new();
+        let mut miss_keys: Vec<MetaKey> = Vec::new();
+        let mut prefetch_wait = SimDuration::ZERO;
+        for key in &needs {
+            match self.engine.meta(key) {
+                Some(meta) => {
+                    let wait = meta.available_at.duration_since(now);
+                    prefetch_wait = prefetch_wait.max(wait);
+                    hit_keys.push(*key);
+                }
+                None => miss_keys.push(*key),
+            }
+        }
+        latency.communication += prefetch_wait;
+
+        // Hits first (reading them must happen before miss-caching, which
+        // can evict under capacity pressure): locality-aware execution.
+        // Choose the primary function (the one holding the most needed
+        // bytes); data on sibling functions is gathered intra-cloud.
+        let mut values: Vec<MetaValue> = Vec::with_capacity(needs.len());
+        let mut bytes_on: HashMap<FunctionId, ByteSize> = HashMap::new();
+        for key in &hit_keys {
+            if let (Some(locs), Some(meta)) = (self.engine.locations(key), self.engine.meta(key)) {
+                for id in locs {
+                    *bytes_on.entry(*id).or_insert(ByteSize::ZERO) += meta.size;
+                }
+            }
+        }
+        // Among the replicas holding the most needed bytes, dispatch to the
+        // least busy one — replicated functions double as parallel servers
+        // (paper §A.1: scalability via copies of cached functions).
+        let max_bytes = bytes_on.values().copied().max().unwrap_or(ByteSize::ZERO);
+        let primary = bytes_on
+            .iter()
+            .filter(|(_, bytes)| **bytes == max_bytes)
+            .min_by_key(|(id, _)| {
+                let busy = self
+                    .platform
+                    .instance(**id)
+                    .map(|i| i.busy_until())
+                    .unwrap_or(SimTime::MAX);
+                (busy, id.as_raw())
+            })
+            .map(|(id, _)| *id);
+
+        let mut gather_items = 0usize;
+        let mut gather_bytes = ByteSize::ZERO;
+        for key in &hit_keys {
+            self.engine.touch(key);
+            let locs = self
+                .engine
+                .locations(key)
+                .expect("hit keys remain cached until miss handling")
+                .to_vec();
+            let local = primary.map(|p| locs.contains(&p)).unwrap_or(false);
+            let source = if local {
+                primary.expect("primary exists for local keys")
+            } else {
+                locs[0]
+            };
+            if !local {
+                gather_items += 1;
+                if let Some(meta) = self.engine.meta(key) {
+                    gather_bytes += meta.size;
+                }
+            }
+            let blob = self
+                .platform
+                .instance(source)
+                .and_then(|i| i.object(&key.object_key()).cloned());
+            if let Some(blob) = blob {
+                if let Some(v) = MetaValue::from_blob(&blob) {
+                    values.push(v);
+                }
+            }
+        }
+        if gather_items > 0 {
+            latency.communication +=
+                NetworkProfile::INTRA_CLOUD.batch_transfer_time(gather_items, gather_bytes, 8);
+        }
+
+        // Misses: batch-fetch from the persistent store (caching them may
+        // evict under capacity pressure, which is why hits were read above).
+        if !miss_keys.is_empty() {
+            let okeys: Vec<_> = miss_keys.iter().map(|k| k.object_key()).collect();
+            let (blobs, receipt) = self.persistent.get_many(now, &okeys)?;
+            latency.communication += receipt.latency;
+            cost += receipt.cost;
+            let cache_miss = self.policy.cache_on_miss();
+            for (key, blob) in miss_keys.iter().zip(blobs) {
+                if let Some(v) = MetaValue::from_blob(&blob) {
+                    values.push(v);
+                }
+                if cache_miss {
+                    self.cache_object(now, *key, blob, now);
+                }
+            }
+        }
+
+        // Execute the workload on the primary (or a scratch function when
+        // everything missed and nothing was cached).
+        let outcome = execute(request, &values, self.catalog.model().compute_scale())?;
+        let exec_fn = match primary.or_else(|| self.rings[0].first().copied()) {
+            Some(id) => id,
+            None => {
+                let id = self.platform.spawn(now, self.cfg.function_config);
+                self.rings[0].push(id);
+                self.ring_of.insert(id, 0);
+                id
+            }
+        };
+        self.tracker.dispatch(request.id, vec![exec_fn]);
+        let invoke = self.platform.invoke(now, exec_fn, outcome.work)?;
+        latency.queueing += invoke.queue_wait;
+        latency.computation += invoke
+            .receipt
+            .latency
+            .saturating_sub(invoke.queue_wait);
+        cost += invoke.receipt.cost;
+
+        // Policy reaction: prefetch for the request train, shed the past.
+        let actions = self
+            .policy
+            .on_request(request, &self.catalog, &self.engine);
+        for key in &actions.prefetch {
+            if self.engine.contains(key) {
+                continue;
+            }
+            if let Ok((blob, receipt)) = self.persistent.get(now, &key.object_key()) {
+                self.ledger.background_cost += receipt.cost;
+                self.cache_object(now, *key, blob, now + receipt.latency);
+            }
+        }
+        for key in &actions.evict {
+            self.evict_key(key);
+        }
+
+        self.tracker.complete(request.id);
+        let measured = RequestOutcome {
+            request: request.id,
+            kind: request.kind,
+            arrived: now,
+            finished: now + latency.total(),
+            latency,
+            cost,
+            cache_hits: hit_keys.len(),
+            cache_misses: miss_keys.len(),
+            recovered_from_fault,
+        };
+        self.ledger.outcomes.push(measured);
+        Ok(ServedRequest { outcome, measured })
+    }
+}

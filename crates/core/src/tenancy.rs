@@ -1,0 +1,286 @@
+//! Multi-tenancy (paper Appendix A).
+//!
+//! The serverless paradigm isolates tenants by construction: each user (or
+//! FL job) gets its own cache — its own functions, placement index, policy,
+//! and persistent namespace — on one logical FLStore deployment.
+//! [`MultiTenantStore`] routes rounds and requests to per-job [`FlStore`]
+//! instances and aggregates billing, so operators see one system while
+//! tenants cannot observe each other's data or interfere with each other's
+//! caching policies.
+
+use std::collections::BTreeMap;
+
+use flstore_fl::ids::JobId;
+use flstore_fl::job::RoundRecord;
+use flstore_fl::zoo::ModelArch;
+use flstore_sim::cost::CostBreakdown;
+use flstore_sim::time::SimTime;
+use flstore_workloads::request::WorkloadRequest;
+
+use crate::error::FlStoreError;
+use crate::policy::{CachingPolicy, TailoredPolicy};
+use crate::store::{FlStore, FlStoreConfig, IngestReceipt, ServedRequest};
+
+/// A multi-tenant FLStore front end: one isolated [`FlStore`] per job.
+///
+/// # Examples
+///
+/// ```
+/// use flstore_core::tenancy::MultiTenantStore;
+/// use flstore_core::store::FlStoreConfig;
+/// use flstore_fl::ids::JobId;
+/// use flstore_fl::zoo::ModelArch;
+///
+/// let mut front = MultiTenantStore::new(FlStoreConfig::for_model(&ModelArch::RESNET18));
+/// front.register_job(JobId::new(1), ModelArch::RESNET18);
+/// front.register_job(JobId::new(2), ModelArch::EFFICIENTNET_V2_S);
+/// assert_eq!(front.tenant_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MultiTenantStore {
+    template: FlStoreConfig,
+    tenants: BTreeMap<JobId, FlStore>,
+}
+
+impl MultiTenantStore {
+    /// Creates an empty front end; per-tenant deployments are derived from
+    /// `template` (seeds are decorrelated per job).
+    pub fn new(template: FlStoreConfig) -> Self {
+        MultiTenantStore {
+            template,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Registered job ids, in order.
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.tenants.keys().copied()
+    }
+
+    /// Registers a tenant job with the default tailored policy. Replaces
+    /// nothing if the job already exists (returns false).
+    pub fn register_job(&mut self, job: JobId, model: ModelArch) -> bool {
+        self.register_job_with_policy(job, model, Box::new(TailoredPolicy::new()))
+    }
+
+    /// Registers a tenant with a custom caching policy — each tenant may
+    /// tune caching to its own workloads (paper Appendix A).
+    pub fn register_job_with_policy(
+        &mut self,
+        job: JobId,
+        model: ModelArch,
+        policy: Box<dyn CachingPolicy>,
+    ) -> bool {
+        if self.tenants.contains_key(&job) {
+            return false;
+        }
+        let mut cfg = self.template.clone();
+        // Decorrelate platform randomness across tenants.
+        cfg.seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(job.as_u32()) + 1));
+        // Function sizing follows each tenant's model, as in single-tenant
+        // deployments.
+        cfg.function_config = FlStoreConfig::for_model(&model).function_config;
+        self.tenants.insert(job, FlStore::new(cfg, policy, job, model));
+        true
+    }
+
+    /// Borrows a tenant's store.
+    pub fn tenant(&self, job: JobId) -> Option<&FlStore> {
+        self.tenants.get(&job)
+    }
+
+    /// Ingests a round into its job's tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlStoreError::NoData`] if the round belongs to an
+    /// unregistered job.
+    pub fn ingest_round(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        record: &RoundRecord,
+    ) -> Result<IngestReceipt, FlStoreError> {
+        match self.tenants.get_mut(&job) {
+            Some(store) => Ok(store.ingest_round(now, record)),
+            None => Err(FlStoreError::NoData {
+                request: flstore_workloads::request::RequestId::new(0),
+            }),
+        }
+    }
+
+    /// Routes a request to its job's tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlStoreError::NoData`] for unregistered jobs, or whatever
+    /// the tenant store returns.
+    pub fn serve(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+    ) -> Result<ServedRequest, FlStoreError> {
+        match self.tenants.get_mut(&request.job) {
+            Some(store) => store.serve(now, request),
+            None => Err(FlStoreError::NoData {
+                request: request.id,
+            }),
+        }
+    }
+
+    /// Aggregate cost across tenants over the window ending at `now`.
+    pub fn total_cost(&mut self, now: SimTime) -> CostBreakdown {
+        self.tenants
+            .values_mut()
+            .map(|s| s.total_cost(now))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flstore_fl::job::{FlJobConfig, FlJobSim};
+    use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+    use flstore_sim::time::SimDuration;
+    use flstore_workloads::request::RequestId;
+    use flstore_workloads::taxonomy::WorkloadKind;
+
+    fn template() -> FlStoreConfig {
+        FlStoreConfig {
+            platform: PlatformConfig {
+                reclaim: ReclaimModel::DISABLED,
+                ..PlatformConfig::default()
+            },
+            ..FlStoreConfig::for_model(&ModelArch::RESNET18)
+        }
+    }
+
+    fn run_job(front: &mut MultiTenantStore, job: JobId) -> flstore_fl::ids::Round {
+        let cfg = FlJobConfig {
+            rounds: 5,
+            ..FlJobConfig::quick_test(job)
+        };
+        front.register_job(job, cfg.model);
+        let mut now = SimTime::ZERO;
+        let mut last = flstore_fl::ids::Round::ZERO;
+        for record in FlJobSim::new(cfg) {
+            front.ingest_round(now, job, &record).expect("registered");
+            last = record.round;
+            now += SimDuration::from_secs(60);
+        }
+        last
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut front = MultiTenantStore::new(template());
+        let last1 = run_job(&mut front, JobId::new(1));
+        let last2 = run_job(&mut front, JobId::new(2));
+
+        // Each tenant serves its own job's data.
+        for (job, round) in [(JobId::new(1), last1), (JobId::new(2), last2)] {
+            let req = WorkloadRequest::new(
+                RequestId::new(job.as_u32() as u64),
+                WorkloadKind::MaliciousFiltering,
+                job,
+                round,
+                None,
+            );
+            let served = front
+                .serve(SimTime::from_secs(3600), &req)
+                .expect("servable");
+            assert_eq!(served.measured.cache_misses, 0);
+        }
+
+        // One tenant's cache holds only its own objects.
+        let t1 = front.tenant(JobId::new(1)).expect("registered");
+        for key in t1.engine().keys() {
+            assert_eq!(key.job, JobId::new(1), "foreign object in tenant cache: {key}");
+        }
+        // Tenants do not share functions.
+        assert!(t1.platform().instance_count() > 0);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut front = MultiTenantStore::new(template());
+        assert!(front.register_job(JobId::new(1), ModelArch::RESNET18));
+        assert!(!front.register_job(JobId::new(1), ModelArch::SWIN_V2_TINY));
+        assert_eq!(front.tenant_count(), 1);
+        assert_eq!(front.jobs().collect::<Vec<_>>(), vec![JobId::new(1)]);
+    }
+
+    #[test]
+    fn unregistered_job_is_an_error() {
+        let mut front = MultiTenantStore::new(template());
+        let req = WorkloadRequest::new(
+            RequestId::new(1),
+            WorkloadKind::Inference,
+            JobId::new(42),
+            flstore_fl::ids::Round::ZERO,
+            None,
+        );
+        assert!(matches!(
+            front.serve(SimTime::ZERO, &req).unwrap_err(),
+            FlStoreError::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn total_cost_sums_tenants() {
+        let mut front = MultiTenantStore::new(template());
+        run_job(&mut front, JobId::new(1));
+        run_job(&mut front, JobId::new(2));
+        let end = SimTime::from_secs(7200);
+        let total = front.total_cost(end);
+        let t1 = {
+            let mut solo = MultiTenantStore::new(template());
+            run_job(&mut solo, JobId::new(1));
+            solo.total_cost(end)
+        };
+        assert!(total.total() > t1.total(), "two tenants cost more than one");
+    }
+
+    #[test]
+    fn function_sizing_follows_tenant_model() {
+        let mut front = MultiTenantStore::new(template());
+        front.register_job(JobId::new(1), ModelArch::MOBILENET_V3_SMALL);
+        front.register_job(JobId::new(2), ModelArch::SWIN_V2_TINY);
+        // Ingest one round each so functions spawn.
+        for job in [JobId::new(1), JobId::new(2)] {
+            let model = if job == JobId::new(1) {
+                ModelArch::MOBILENET_V3_SMALL
+            } else {
+                ModelArch::SWIN_V2_TINY
+            };
+            let cfg = FlJobConfig {
+                rounds: 1,
+                model,
+                ..FlJobConfig::quick_test(job)
+            };
+            let record = FlJobSim::new(cfg).next().expect("one round");
+            front.ingest_round(SimTime::ZERO, job, &record).expect("registered");
+        }
+        let small = front.tenant(JobId::new(1)).expect("t1");
+        let large = front.tenant(JobId::new(2)).expect("t2");
+        let small_mem = small
+            .platform()
+            .instance(small.platform().instance_ids()[0])
+            .expect("spawned")
+            .config()
+            .memory;
+        let large_mem = large
+            .platform()
+            .instance(large.platform().instance_ids()[0])
+            .expect("spawned")
+            .config()
+            .memory;
+        assert!(large_mem > small_mem, "Swin tenant gets bigger functions");
+    }
+}

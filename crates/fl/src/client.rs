@@ -1,0 +1,153 @@
+//! Client device population.
+//!
+//! Cross-device FL draws participants from a heterogeneous pool: devices
+//! differ in compute speed, network bandwidth, availability, reliability,
+//! and data distribution. Scheduling, clustering, and incentive workloads
+//! consume exactly this heterogeneity, so the population model generates it
+//! deterministically from the job seed.
+
+use serde::{Deserialize, Serialize};
+
+use flstore_sim::rng::DetRng;
+
+use crate::ids::ClientId;
+
+/// Static profile of one client device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientProfile {
+    /// The client's identifier.
+    pub id: ClientId,
+    /// Local compute speed relative to the median device (log-normal).
+    pub compute_speed: f64,
+    /// Uplink bandwidth in Mbit/s.
+    pub uplink_mbps: f64,
+    /// Long-run probability the device is available when selected.
+    pub availability: f64,
+    /// Probability the device completes a round it started (no dropout).
+    pub reliability: f64,
+    /// Number of local training samples.
+    pub num_samples: u32,
+    /// Label distribution over the dataset's classes (Dirichlet non-IID).
+    pub label_dist: Vec<f64>,
+    /// Ground truth: whether this client submits poisoned updates.
+    /// Workloads must *infer* maliciousness; tests compare against this.
+    pub is_malicious: bool,
+}
+
+impl ClientProfile {
+    /// Expected seconds to locally train one round of a workload whose
+    /// reference device takes `ref_secs`.
+    pub fn local_train_secs(&self, ref_secs: f64) -> f64 {
+        ref_secs / self.compute_speed
+    }
+
+    /// Seconds to upload `bytes` over the client's uplink.
+    pub fn upload_secs(&self, bytes: u64) -> f64 {
+        let bits = bytes as f64 * 8.0;
+        bits / (self.uplink_mbps * 1e6)
+    }
+}
+
+/// Generates a deterministic population of `n` clients.
+///
+/// * compute speed: log-normal around 1.0 (σ = 0.4);
+/// * uplink: log-normal around 20 Mbit/s;
+/// * availability: Beta-like in `[0.5, 1.0)`;
+/// * reliability: in `[0.7, 1.0)`;
+/// * samples: 200–2000, skewed low (most devices hold little data);
+/// * label distribution: symmetric Dirichlet with concentration `alpha`
+///   over `classes` labels (`alpha` = 0.5 reproduces common non-IID
+///   CIFAR-10 splits);
+/// * the first `⌈malicious_fraction * n⌉` client *indices drawn at random*
+///   are flagged malicious.
+pub fn generate_population(
+    seed: u64,
+    n: u32,
+    classes: usize,
+    alpha: f64,
+    malicious_fraction: f64,
+) -> Vec<ClientProfile> {
+    assert!(
+        (0.0..=1.0).contains(&malicious_fraction),
+        "malicious fraction must be in [0,1], got {malicious_fraction}"
+    );
+    let mut rng = DetRng::stream(seed, "client-population");
+    let n_mal = (malicious_fraction * n as f64).ceil() as usize;
+    let mal_set: std::collections::HashSet<usize> =
+        rng.choose_k(n as usize, n_mal.min(n as usize)).into_iter().collect();
+    (0..n)
+        .map(|i| {
+            let compute_speed = rng.log_normal(0.0, 0.4);
+            let uplink_mbps = rng.log_normal(3.0, 0.5); // median ≈ 20 Mbit/s
+            let availability = 0.5 + 0.5 * rng.u01();
+            let reliability = 0.7 + 0.3 * rng.u01();
+            let num_samples = 200 + (1800.0 * rng.u01().powf(2.0)) as u32;
+            let label_dist = rng.dirichlet(classes, alpha);
+            ClientProfile {
+                id: ClientId::new(i),
+                compute_speed,
+                uplink_mbps,
+                availability,
+                reliability,
+                num_samples,
+                label_dist,
+                is_malicious: mal_set.contains(&(i as usize)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic() {
+        let a = generate_population(42, 50, 10, 0.5, 0.1);
+        let b = generate_population(42, 50, 10, 0.5, 0.1);
+        assert_eq!(a, b);
+        let c = generate_population(43, 50, 10, 0.5, 0.1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn malicious_count_matches_fraction() {
+        let pop = generate_population(1, 250, 10, 0.5, 0.1);
+        let mal = pop.iter().filter(|c| c.is_malicious).count();
+        assert_eq!(mal, 25);
+    }
+
+    #[test]
+    fn profiles_are_plausible() {
+        let pop = generate_population(2, 200, 10, 0.5, 0.0);
+        for c in &pop {
+            assert!(c.compute_speed > 0.05 && c.compute_speed < 20.0);
+            assert!(c.uplink_mbps > 0.5);
+            assert!((0.5..=1.0).contains(&c.availability));
+            assert!((0.7..=1.0).contains(&c.reliability));
+            assert!((200..=2000).contains(&c.num_samples));
+            assert_eq!(c.label_dist.len(), 10);
+            let sum: f64 = c.label_dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(!c.is_malicious);
+        }
+    }
+
+    #[test]
+    fn upload_time_scales_with_bytes() {
+        let pop = generate_population(3, 1, 10, 0.5, 0.0);
+        let c = &pop[0];
+        let t1 = c.upload_secs(10_000_000);
+        let t2 = c.upload_secs(20_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_clients_train_longer() {
+        let mut fast = generate_population(4, 1, 10, 0.5, 0.0)[0].clone();
+        fast.compute_speed = 2.0;
+        let mut slow = fast.clone();
+        slow.compute_speed = 0.5;
+        assert!(slow.local_train_secs(100.0) > fast.local_train_secs(100.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Hyperparameter records (P4 metadata).
+//!
+//! Hyperparameter tuning and tracking workloads (paper Table 1, P4) consume
+//! per-round configuration records: learning-rate schedules, batch sizes,
+//! aggregation settings. These are small (kilobytes) but accessed
+//! repeatedly, which is why P4 caches the most recent `R` rounds of them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Round;
+
+/// Per-round training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// Round these parameters applied to.
+    pub round: Round,
+    /// Client learning rate.
+    pub learning_rate: f64,
+    /// Local batch size.
+    pub batch_size: u32,
+    /// Local epochs per round.
+    pub local_epochs: u32,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// Weight decay.
+    pub weight_decay: f64,
+    /// Server learning rate (for FedOpt-style servers).
+    pub server_lr: f64,
+    /// Fraction of clients sampled this round.
+    pub sample_fraction: f64,
+}
+
+impl HyperParams {
+    /// A standard cross-device schedule: cosine-decayed client LR starting
+    /// at 0.1, batch 32, one local epoch.
+    pub fn schedule(round: Round, total_rounds: u32, sample_fraction: f64) -> HyperParams {
+        let total = total_rounds.max(1) as f64;
+        let progress = (round.as_u32() as f64 / total).min(1.0);
+        let lr = 0.001 + 0.099 * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+        HyperParams {
+            round,
+            learning_rate: lr,
+            batch_size: 32,
+            local_epochs: 1,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            server_lr: 1.0,
+            sample_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lr_decays_over_training() {
+        let early = HyperParams::schedule(Round::new(0), 1000, 0.04);
+        let late = HyperParams::schedule(Round::new(999), 1000, 0.04);
+        assert!(early.learning_rate > late.learning_rate);
+        assert!((early.learning_rate - 0.1).abs() < 1e-6);
+        assert!(late.learning_rate >= 0.001);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = HyperParams::schedule(Round::new(500), 1000, 0.04);
+        let b = HyperParams::schedule(Round::new(500), 1000, 0.04);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Identifier newtypes for jobs, clients, and rounds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one FL job (training session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct JobId(u32);
+
+impl JobId {
+    /// Creates a job id.
+    pub const fn new(id: u32) -> Self {
+        JobId(id)
+    }
+
+    /// Raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Identifier of one client device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id.
+    pub const fn new(id: u32) -> Self {
+        ClientId(id)
+    }
+
+    /// Raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// A training round number (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Round(u32);
+
+impl Round {
+    /// The first round.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round number.
+    pub const fn new(r: u32) -> Self {
+        Round(r)
+    }
+
+    /// Raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The following round.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The preceding round, if any.
+    pub const fn prev(self) -> Option<Round> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Round(self.0 - 1))
+        }
+    }
+
+    /// Rounds `self..self+n`.
+    pub fn window(self, n: u32) -> impl Iterator<Item = Round> {
+        (self.0..self.0.saturating_add(n)).map(Round)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_navigation() {
+        let r = Round::new(5);
+        assert_eq!(r.next(), Round::new(6));
+        assert_eq!(r.prev(), Some(Round::new(4)));
+        assert_eq!(Round::ZERO.prev(), None);
+        let w: Vec<u32> = Round::new(3).window(3).map(Round::as_u32).collect();
+        assert_eq!(w, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(JobId::new(1).to_string(), "job-1");
+        assert_eq!(ClientId::new(2).to_string(), "client-2");
+        assert_eq!(Round::new(3).to_string(), "round-3");
+    }
+}

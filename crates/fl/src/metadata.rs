@@ -1,0 +1,273 @@
+//! Metadata keys and values: the unit of storage.
+//!
+//! Everything an FL job emits is addressed by a [`MetaKey`]
+//! `(job, round, client?, kind)` and stored as a [`MetaValue`]. Values
+//! serialize into [`Blob`]s whose *payload* is the reduced-fidelity record
+//! (JSON) and whose *logical size* is what the real artifact would occupy
+//! (the full serialized model for updates/aggregates) — the quantity all
+//! latency/cost models account.
+
+use serde::{Deserialize, Serialize};
+
+use flstore_cloud::blob::{Blob, ObjectKey};
+use flstore_sim::bytes::ByteSize;
+
+use crate::aggregate::AggregateModel;
+use crate::hyperparams::HyperParams;
+use crate::ids::{ClientId, JobId, Round};
+use crate::job::RoundRecord;
+use crate::metrics::RoundMetrics;
+use crate::update::ModelUpdate;
+use crate::zoo::ModelArch;
+
+/// The four metadata classes FL jobs emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MetaKind {
+    /// One client's model update for one round.
+    ClientUpdate,
+    /// The aggregated global model for one round.
+    Aggregate,
+    /// Hyperparameters used in one round.
+    HyperParams,
+    /// Pool-wide operational metrics for one round.
+    RoundMetrics,
+}
+
+impl MetaKind {
+    fn tag(self) -> &'static str {
+        match self {
+            MetaKind::ClientUpdate => "update",
+            MetaKind::Aggregate => "aggregate",
+            MetaKind::HyperParams => "hyper",
+            MetaKind::RoundMetrics => "metrics",
+        }
+    }
+}
+
+/// Structured address of one metadata object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetaKey {
+    /// Producing job.
+    pub job: JobId,
+    /// Round the object belongs to.
+    pub round: Round,
+    /// Producing client (updates only).
+    pub client: Option<ClientId>,
+    /// Metadata class.
+    pub kind: MetaKind,
+}
+
+impl MetaKey {
+    /// Key of a client update.
+    pub fn update(job: JobId, round: Round, client: ClientId) -> MetaKey {
+        MetaKey {
+            job,
+            round,
+            client: Some(client),
+            kind: MetaKind::ClientUpdate,
+        }
+    }
+
+    /// Key of a round aggregate.
+    pub fn aggregate(job: JobId, round: Round) -> MetaKey {
+        MetaKey {
+            job,
+            round,
+            client: None,
+            kind: MetaKind::Aggregate,
+        }
+    }
+
+    /// Key of a round's hyperparameters.
+    pub fn hyperparams(job: JobId, round: Round) -> MetaKey {
+        MetaKey {
+            job,
+            round,
+            client: None,
+            kind: MetaKind::HyperParams,
+        }
+    }
+
+    /// Key of a round's operational metrics.
+    pub fn metrics(job: JobId, round: Round) -> MetaKey {
+        MetaKey {
+            job,
+            round,
+            client: None,
+            kind: MetaKind::RoundMetrics,
+        }
+    }
+
+    /// Flattens into the opaque key used by stores and caches.
+    pub fn object_key(&self) -> ObjectKey {
+        match self.client {
+            Some(c) => ObjectKey::new(format!(
+                "{}/{}/{}/{}",
+                self.job,
+                self.round,
+                c,
+                self.kind.tag()
+            )),
+            None => ObjectKey::new(format!("{}/{}/{}", self.job, self.round, self.kind.tag())),
+        }
+    }
+}
+
+impl std::fmt::Display for MetaKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.object_key())
+    }
+}
+
+/// A typed metadata record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetaValue {
+    /// A client model update.
+    Update(ModelUpdate),
+    /// A round aggregate.
+    Aggregate(AggregateModel),
+    /// Round hyperparameters.
+    Hyper(HyperParams),
+    /// Round operational metrics.
+    Metrics(RoundMetrics),
+}
+
+impl MetaValue {
+    /// The key addressing this value.
+    pub fn key(&self) -> MetaKey {
+        match self {
+            MetaValue::Update(u) => MetaKey::update(u.job, u.round, u.client),
+            MetaValue::Aggregate(a) => MetaKey::aggregate(a.job, a.round),
+            // Hyper/metrics records do not embed the job id; the producing
+            // job attaches it via `keyed_for`.
+            MetaValue::Hyper(h) => MetaKey::hyperparams(JobId::new(0), h.round),
+            MetaValue::Metrics(m) => MetaKey::metrics(JobId::new(0), m.round),
+        }
+    }
+
+    /// The key addressing this value within `job` (needed for hyper/metrics
+    /// records, which do not embed the job id).
+    pub fn keyed_for(&self, job: JobId) -> MetaKey {
+        let mut key = self.key();
+        key.job = job;
+        key
+    }
+
+    /// Logical byte volume of the real artifact.
+    ///
+    /// Updates and aggregates occupy a full serialized model; the small
+    /// records are kilobytes.
+    pub fn logical_size(&self, model: &ModelArch) -> ByteSize {
+        match self {
+            MetaValue::Update(_) | MetaValue::Aggregate(_) => model.size(),
+            MetaValue::Hyper(_) => ByteSize::from_kb(2),
+            MetaValue::Metrics(m) => {
+                ByteSize::from_bytes(1024 + 96 * m.clients.len() as u64)
+            }
+        }
+    }
+
+    /// Serializes into a storable blob (JSON payload + logical size).
+    pub fn to_blob(&self, model: &ModelArch) -> Blob {
+        let payload = serde_json::to_vec(self).expect("metadata serializes");
+        Blob::with_payload(payload.into(), self.logical_size(model))
+    }
+
+    /// Decodes a blob produced by [`MetaValue::to_blob`].
+    ///
+    /// Returns `None` for blobs without a decodable payload (e.g. purely
+    /// synthetic blobs used in capacity tests).
+    pub fn from_blob(blob: &Blob) -> Option<MetaValue> {
+        serde_json::from_slice(blob.payload()).ok()
+    }
+}
+
+/// Flattens a [`RoundRecord`] into storable `(key, blob)` pairs: one blob
+/// per client update, plus the aggregate, hyperparameters, and metrics.
+pub fn round_blobs(record: &RoundRecord, job: JobId, model: &ModelArch) -> Vec<(MetaKey, Blob)> {
+    let mut out = Vec::with_capacity(record.updates.len() + 3);
+    for u in &record.updates {
+        let v = MetaValue::Update(u.clone());
+        out.push((v.keyed_for(job), v.to_blob(model)));
+    }
+    let agg = MetaValue::Aggregate(record.aggregate.clone());
+    out.push((agg.keyed_for(job), agg.to_blob(model)));
+    let hyper = MetaValue::Hyper(record.hyperparams.clone());
+    out.push((hyper.keyed_for(job), hyper.to_blob(model)));
+    let metrics = MetaValue::Metrics(record.metrics.clone());
+    out.push((metrics.keyed_for(job), metrics.to_blob(model)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{FlJobConfig, FlJobSim};
+
+    #[test]
+    fn object_keys_are_unique_and_stable() {
+        let job = JobId::new(1);
+        let r = Round::new(5);
+        let a = MetaKey::update(job, r, ClientId::new(3)).object_key();
+        let b = MetaKey::update(job, r, ClientId::new(4)).object_key();
+        let c = MetaKey::aggregate(job, r).object_key();
+        let d = MetaKey::hyperparams(job, r).object_key();
+        let e = MetaKey::metrics(job, r).object_key();
+        let keys = [&a, &b, &c, &d, &e];
+        for (i, x) in keys.iter().enumerate() {
+            for (j, y) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y);
+                }
+            }
+        }
+        assert_eq!(a.as_str(), "job-1/round-5/client-3/update");
+    }
+
+    #[test]
+    fn blob_round_trip_preserves_value() {
+        let mut sim = FlJobSim::new(FlJobConfig::quick_test(JobId::new(2)));
+        let record = sim.next().expect("has rounds");
+        let model = ModelArch::RESNET18;
+        for (_, blob) in round_blobs(&record, JobId::new(2), &model) {
+            let value = MetaValue::from_blob(&blob).expect("decodable");
+            let re = value.to_blob(&model);
+            assert_eq!(re.logical_size(), blob.logical_size());
+            assert_eq!(MetaValue::from_blob(&re), Some(value));
+        }
+    }
+
+    #[test]
+    fn logical_sizes_follow_kinds() {
+        let mut sim = FlJobSim::new(FlJobConfig::quick_test(JobId::new(3)));
+        let record = sim.next().expect("has rounds");
+        let model = ModelArch::EFFICIENTNET_V2_S;
+        let update = MetaValue::Update(record.updates[0].clone());
+        assert_eq!(update.logical_size(&model), model.size());
+        let hyper = MetaValue::Hyper(record.hyperparams.clone());
+        assert!(hyper.logical_size(&model) < ByteSize::from_kb(10));
+        let metrics = MetaValue::Metrics(record.metrics.clone());
+        assert!(metrics.logical_size(&model) > ByteSize::from_kb(1));
+        assert!(metrics.logical_size(&model) < ByteSize::from_mb(1));
+    }
+
+    #[test]
+    fn round_blobs_cover_all_artifacts() {
+        let mut sim = FlJobSim::new(FlJobConfig::quick_test(JobId::new(4)));
+        let record = sim.next().expect("has rounds");
+        let blobs = round_blobs(&record, JobId::new(4), &ModelArch::RESNET18);
+        assert_eq!(blobs.len(), record.updates.len() + 3);
+        let kinds: Vec<MetaKind> = blobs.iter().map(|(k, _)| k.kind).collect();
+        assert!(kinds.contains(&MetaKind::Aggregate));
+        assert!(kinds.contains(&MetaKind::HyperParams));
+        assert!(kinds.contains(&MetaKind::RoundMetrics));
+        // Every key carries the right job id.
+        assert!(blobs.iter().all(|(k, _)| k.job == JobId::new(4)));
+    }
+
+    #[test]
+    fn synthetic_blob_decodes_to_none() {
+        let blob = Blob::synthetic(ByteSize::from_mb(1));
+        assert_eq!(MetaValue::from_blob(&blob), None);
+    }
+}

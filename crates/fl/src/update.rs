@@ -1,0 +1,94 @@
+//! Client model updates — the dominant FL metadata type.
+//!
+//! Every selected client produces one [`ModelUpdate`] per round: the weight
+//! delta plus the training-outcome metrics that non-training workloads
+//! consume (loss, accuracy, timing, sample counts).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClientId, JobId, Round};
+use crate::weights::WeightVector;
+
+/// Training-outcome metrics attached to an update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateMetrics {
+    /// Loss on the client's local data after training.
+    pub local_loss: f64,
+    /// Accuracy on the client's local validation split.
+    pub local_accuracy: f64,
+    /// Wall-clock seconds the client spent training.
+    pub train_time_s: f64,
+    /// Wall-clock seconds the client spent uploading.
+    pub upload_time_s: f64,
+    /// Number of local training samples.
+    pub num_samples: u32,
+    /// Rounds of staleness (0 for synchronous FL).
+    pub staleness: u32,
+}
+
+/// One client's model update for one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Job that produced the update.
+    pub job: JobId,
+    /// Client that trained it.
+    pub client: ClientId,
+    /// Round it belongs to.
+    pub round: Round,
+    /// Reduced-fidelity weight vector (see `weights` module docs).
+    pub weights: WeightVector,
+    /// Training-outcome metrics.
+    pub metrics: UpdateMetrics,
+    /// Ground truth for evaluation only: whether the producing client is
+    /// malicious. Workloads must not read this; tests score detectors
+    /// against it.
+    pub ground_truth_malicious: bool,
+}
+
+impl ModelUpdate {
+    /// Utility score used by Oort-style schedulers: statistical utility
+    /// (loss × sqrt(samples)) divided by system latency.
+    pub fn oort_utility(&self) -> f64 {
+        let stat = self.metrics.local_loss * (self.metrics.num_samples as f64).sqrt();
+        let sys = (self.metrics.train_time_s + self.metrics.upload_time_s).max(1e-3);
+        stat / sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(loss: f64, samples: u32, time: f64) -> ModelUpdate {
+        ModelUpdate {
+            job: JobId::new(0),
+            client: ClientId::new(1),
+            round: Round::new(2),
+            weights: WeightVector::zeros(4),
+            metrics: UpdateMetrics {
+                local_loss: loss,
+                local_accuracy: 0.8,
+                train_time_s: time,
+                upload_time_s: 1.0,
+                num_samples: samples,
+                staleness: 0,
+            },
+            ground_truth_malicious: false,
+        }
+    }
+
+    #[test]
+    fn oort_utility_prefers_lossy_fast_clients() {
+        let informative = update(2.0, 400, 10.0);
+        let converged = update(0.1, 400, 10.0);
+        let slow = update(2.0, 400, 100.0);
+        assert!(informative.oort_utility() > converged.oort_utility());
+        assert!(informative.oort_utility() > slow.oort_utility());
+    }
+
+    #[test]
+    fn utility_guards_against_zero_time() {
+        let u = update(1.0, 100, 0.0);
+        assert!(u.oort_utility().is_finite());
+    }
+}

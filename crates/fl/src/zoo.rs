@@ -1,0 +1,240 @@
+//! The model zoo: the 23 architectures of the paper's Figure 19 plus the
+//! four evaluation models.
+//!
+//! Parameter counts and fp32 serialized sizes follow the standard
+//! torchvision releases. The paper quotes an average footprint of
+//! ~161 MB across its 23 models; this zoo averages ~149 MB (the paper's
+//! checkpoints carry some extra state), which preserves the conclusion that
+//! cross-device FL models fit comfortably in 2–10 GB function memories.
+
+use serde::Serialize;
+
+use flstore_sim::bytes::ByteSize;
+
+/// A model architecture used in cross-device FL.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ModelArch {
+    /// Canonical name.
+    pub name: &'static str,
+    /// Trainable parameters, in millions.
+    pub params_m: f64,
+    /// Serialized fp32 checkpoint size, in MB.
+    pub size_mb: f64,
+}
+
+impl ModelArch {
+    /// Serialized size as a byte quantity.
+    pub fn size(&self) -> ByteSize {
+        ByteSize::from_mb_f64(self.size_mb)
+    }
+
+    /// Relative compute scale of workloads touching this model, normalized
+    /// to EfficientNetV2-S (the paper's reference model). Non-training
+    /// kernels scale roughly with parameter count.
+    pub fn compute_scale(&self) -> f64 {
+        self.params_m / ModelArch::EFFICIENTNET_V2_S.params_m
+    }
+
+    /// ResNet-18 — evaluation model (paper Figs. 7–8).
+    pub const RESNET18: ModelArch = ModelArch {
+        name: "ResNet18",
+        params_m: 11.69,
+        size_mb: 44.7,
+    };
+
+    /// MobileNetV3-Small — evaluation model (figures label the series
+    /// "MobileNetV2"; the text uses MobileNet V3 Small).
+    pub const MOBILENET_V3_SMALL: ModelArch = ModelArch {
+        name: "MobileNetV3Small",
+        params_m: 2.54,
+        size_mb: 9.8,
+    };
+
+    /// EfficientNetV2-S — evaluation + motivation model.
+    pub const EFFICIENTNET_V2_S: ModelArch = ModelArch {
+        name: "EfficientNetV2S",
+        params_m: 21.46,
+        size_mb: 82.7,
+    };
+
+    /// SwinTransformerV2-Tiny — evaluation model.
+    pub const SWIN_V2_TINY: ModelArch = ModelArch {
+        name: "SwinTransformerV2Tiny",
+        params_m: 28.35,
+        size_mb: 108.6,
+    };
+
+    /// The four models the paper's main evaluation sweeps (Figs. 7, 8, 15, 16).
+    pub const EVALUATION: [ModelArch; 4] = [
+        ModelArch::RESNET18,
+        ModelArch::MOBILENET_V3_SMALL,
+        ModelArch::EFFICIENTNET_V2_S,
+        ModelArch::SWIN_V2_TINY,
+    ];
+}
+
+/// The 23-model zoo of the paper's Figure 19.
+pub const ZOO: [ModelArch; 23] = [
+    ModelArch {
+        name: "ResNet50",
+        params_m: 25.56,
+        size_mb: 97.8,
+    },
+    ModelArch {
+        name: "EfficientNetB0",
+        params_m: 5.29,
+        size_mb: 20.5,
+    },
+    ModelArch {
+        name: "MobileNetV2",
+        params_m: 3.50,
+        size_mb: 13.6,
+    },
+    ModelArch::EFFICIENTNET_V2_S,
+    ModelArch::SWIN_V2_TINY,
+    ModelArch::RESNET18,
+    ModelArch::MOBILENET_V3_SMALL,
+    ModelArch {
+        name: "ShuffleNetV2",
+        params_m: 2.28,
+        size_mb: 8.8,
+    },
+    ModelArch {
+        name: "ResNet34",
+        params_m: 21.80,
+        size_mb: 83.3,
+    },
+    ModelArch {
+        name: "DenseNet121",
+        params_m: 7.98,
+        size_mb: 30.8,
+    },
+    ModelArch {
+        name: "AlexNet",
+        params_m: 61.10,
+        size_mb: 233.1,
+    },
+    ModelArch {
+        name: "VGG13",
+        params_m: 133.05,
+        size_mb: 507.5,
+    },
+    ModelArch {
+        name: "VGG16",
+        params_m: 138.36,
+        size_mb: 527.8,
+    },
+    ModelArch {
+        name: "ResNet101",
+        params_m: 44.55,
+        size_mb: 170.5,
+    },
+    ModelArch {
+        name: "ResNet152",
+        params_m: 60.19,
+        size_mb: 230.4,
+    },
+    ModelArch {
+        name: "ResNeXt50_32x4d",
+        params_m: 25.03,
+        size_mb: 95.8,
+    },
+    ModelArch {
+        name: "ResNeXt101_32x8d",
+        params_m: 88.79,
+        size_mb: 339.6,
+    },
+    ModelArch {
+        name: "WideResNet50_2",
+        params_m: 68.88,
+        size_mb: 263.1,
+    },
+    ModelArch {
+        name: "WideResNet101_2",
+        params_m: 126.89,
+        size_mb: 484.7,
+    },
+    ModelArch {
+        name: "DenseNet161",
+        params_m: 28.68,
+        size_mb: 110.4,
+    },
+    ModelArch {
+        name: "DenseNet169",
+        params_m: 14.15,
+        size_mb: 54.7,
+    },
+    ModelArch {
+        name: "DenseNet201",
+        params_m: 20.01,
+        size_mb: 77.4,
+    },
+    ModelArch {
+        name: "InceptionV3",
+        params_m: 27.16,
+        size_mb: 103.9,
+    },
+];
+
+/// Looks up a zoo model by name.
+pub fn by_name(name: &str) -> Option<ModelArch> {
+    ZOO.iter().copied().find(|m| m.name == name)
+}
+
+/// Average serialized size across the zoo (paper: ~161 MB).
+pub fn average_size() -> ByteSize {
+    let total_mb: f64 = ZOO.iter().map(|m| m.size_mb).sum();
+    ByteSize::from_mb_f64(total_mb / ZOO.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_23_models() {
+        assert_eq!(ZOO.len(), 23);
+        let mut names: Vec<&str> = ZOO.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 23, "model names must be unique");
+    }
+
+    #[test]
+    fn average_size_near_paper() {
+        let avg = average_size().as_mb_f64();
+        // Paper: 160.88 MB; torchvision fp32 checkpoints: ~149 MB.
+        assert!((130.0..180.0).contains(&avg), "average was {avg} MB");
+    }
+
+    #[test]
+    fn all_models_fit_in_max_function_memory() {
+        for m in ZOO {
+            assert!(
+                m.size() < ByteSize::from_gb(10),
+                "{} does not fit in a 10 GB function",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("ResNet18"), Some(ModelArch::RESNET18));
+        assert!(by_name("GPT-5").is_none());
+    }
+
+    #[test]
+    fn compute_scale_reference_is_one() {
+        assert!((ModelArch::EFFICIENTNET_V2_S.compute_scale() - 1.0).abs() < 1e-12);
+        assert!(ModelArch::MOBILENET_V3_SMALL.compute_scale() < 0.5);
+        assert!(ModelArch::SWIN_V2_TINY.compute_scale() > 1.0);
+    }
+
+    #[test]
+    fn evaluation_models_are_in_zoo() {
+        for m in ModelArch::EVALUATION {
+            assert!(by_name(m.name).is_some(), "{} missing from zoo", m.name);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Function instances: bounded memory plus co-located compute.
+//!
+//! A function instance is the unit of FLStore's serverless cache: its memory
+//! holds cached FL metadata (at client-model granularity, paper §4.2) and its
+//! vCPUs execute the non-training workload against that data.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use flstore_cloud::blob::{Blob, ObjectKey};
+use flstore_cloud::compute::ComputeProfile;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+
+/// Identifier of a function instance within a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FunctionId(u64);
+
+impl FunctionId {
+    /// Creates an id from a raw index (platforms allocate these).
+    pub const fn from_raw(raw: u64) -> Self {
+        FunctionId(raw)
+    }
+
+    /// The raw index.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn-{}", self.0)
+    }
+}
+
+/// Resource configuration of a function.
+///
+/// The paper sizes functions to the model being served: 1 vCPU / 2 GB for
+/// ResNet-18 and MobileNet, 2 vCPU / 4 GB for EfficientNet and
+/// SwinTransformer (§5.1), with the provider ceiling at 10 GB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionConfig {
+    /// Configured memory (also the billing unit).
+    pub memory: ByteSize,
+    /// Number of vCPUs.
+    pub vcpus: u32,
+}
+
+impl FunctionConfig {
+    /// 1 vCPU / 2 GB — paper's configuration for small models.
+    pub const SMALL: FunctionConfig = FunctionConfig {
+        memory: ByteSize::from_gb(2),
+        vcpus: 1,
+    };
+
+    /// 2 vCPU / 4 GB — paper's configuration for larger models.
+    pub const LARGE: FunctionConfig = FunctionConfig {
+        memory: ByteSize::from_gb(4),
+        vcpus: 2,
+    };
+
+    /// 6 vCPU / 10 GB — the provider's ceiling (Lambda max).
+    pub const MAX: FunctionConfig = FunctionConfig {
+        memory: ByteSize::from_gb(10),
+        vcpus: 6,
+    };
+
+    /// Compute capability of this configuration.
+    pub fn compute_profile(&self) -> ComputeProfile {
+        match self.vcpus {
+            0 | 1 => ComputeProfile::FUNCTION_1CORE,
+            2 => ComputeProfile::FUNCTION_2CORE,
+            n => ComputeProfile::new(1.0 + 0.15 * (n as f64 - 2.0)),
+        }
+    }
+}
+
+/// Why a function's cached state disappeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReclaimCause {
+    /// The provider reclaimed the warm sandbox after an idle period with no
+    /// invocations or pings.
+    IdleTimeout,
+    /// The provider force-reclaimed the sandbox (heavy-tailed lifetime, as
+    /// measured for AWS Lambda by the InfiniCache study).
+    Forced,
+}
+
+/// Errors raised by instance-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionError {
+    /// The object does not fit in the instance's remaining memory.
+    OutOfMemory {
+        /// Instance that rejected the object.
+        id: FunctionId,
+        /// Bytes the object needs.
+        need: ByteSize,
+        /// Bytes currently free.
+        free: ByteSize,
+    },
+}
+
+impl fmt::Display for FunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionError::OutOfMemory { id, need, free } => {
+                write!(f, "function {id} out of memory: need {need}, free {free}")
+            }
+        }
+    }
+}
+
+impl Error for FunctionError {}
+
+/// A warm function instance holding cached objects.
+#[derive(Debug, Clone)]
+pub struct FunctionInstance {
+    id: FunctionId,
+    config: FunctionConfig,
+    objects: HashMap<ObjectKey, Blob>,
+    mem_used: ByteSize,
+    deployed_at: SimTime,
+    last_activity: SimTime,
+    reclaim_at: SimTime,
+    generation: u32,
+    busy_until: SimTime,
+}
+
+impl FunctionInstance {
+    pub(crate) fn new(id: FunctionId, config: FunctionConfig, now: SimTime, reclaim_at: SimTime) -> Self {
+        FunctionInstance {
+            id,
+            config,
+            objects: HashMap::new(),
+            mem_used: ByteSize::ZERO,
+            deployed_at: now,
+            last_activity: now,
+            reclaim_at,
+            generation: 0,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// Instance identifier.
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// Resource configuration.
+    pub fn config(&self) -> FunctionConfig {
+        self.config
+    }
+
+    /// Memory currently consumed by cached objects.
+    pub fn mem_used(&self) -> ByteSize {
+        self.mem_used
+    }
+
+    /// Memory still available for caching.
+    ///
+    /// A fixed runtime overhead (256 MB) is reserved for the language
+    /// runtime and workload scratch space.
+    pub fn mem_free(&self) -> ByteSize {
+        const RUNTIME_OVERHEAD: ByteSize = ByteSize::from_mb(256);
+        self.config
+            .memory
+            .saturating_sub(self.mem_used)
+            .saturating_sub(RUNTIME_OVERHEAD)
+    }
+
+    /// Number of cached objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether `key` is cached here.
+    pub fn contains(&self, key: &ObjectKey) -> bool {
+        self.objects.contains_key(key)
+    }
+
+    /// Borrow a cached object.
+    pub fn object(&self, key: &ObjectKey) -> Option<&Blob> {
+        self.objects.get(key)
+    }
+
+    /// Iterates over cached keys.
+    pub fn keys(&self) -> impl Iterator<Item = &ObjectKey> {
+        self.objects.keys()
+    }
+
+    /// When this sandbox was (re)deployed.
+    pub fn deployed_at(&self) -> SimTime {
+        self.deployed_at
+    }
+
+    /// Last invocation or keep-alive ping.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    /// Scheduled forced-reclamation instant (invisible to tenants; the
+    /// platform consults it on access).
+    pub(crate) fn reclaim_at(&self) -> SimTime {
+        self.reclaim_at
+    }
+
+    /// How many times this slot has been reclaimed and redeployed.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// When the single worker is next free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    pub(crate) fn set_busy_until(&mut self, t: SimTime) {
+        self.busy_until = t;
+    }
+
+    pub(crate) fn touch(&mut self, now: SimTime) {
+        self.last_activity = now;
+    }
+
+    pub(crate) fn reclaim(&mut self, now: SimTime, next_reclaim: SimTime) {
+        self.objects.clear();
+        self.mem_used = ByteSize::ZERO;
+        self.generation += 1;
+        self.deployed_at = now;
+        self.last_activity = now;
+        self.reclaim_at = next_reclaim;
+        self.busy_until = now;
+    }
+
+    /// Caches an object in instance memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FunctionError::OutOfMemory`] if the object does not fit.
+    /// Replacing an existing key reuses its space.
+    pub fn store(&mut self, key: ObjectKey, blob: Blob) -> Result<(), FunctionError> {
+        let need = blob.logical_size();
+        let reclaimed = self
+            .objects
+            .get(&key)
+            .map(|b| b.logical_size())
+            .unwrap_or(ByteSize::ZERO);
+        let free = self.mem_free() + reclaimed;
+        if need > free {
+            return Err(FunctionError::OutOfMemory {
+                id: self.id,
+                need,
+                free,
+            });
+        }
+        if let Some(old) = self.objects.insert(key, blob) {
+            self.mem_used -= old.logical_size();
+        }
+        self.mem_used += need;
+        Ok(())
+    }
+
+    /// Evicts an object. Returns whether it was present.
+    pub fn evict(&mut self, key: &ObjectKey) -> bool {
+        if let Some(old) = self.objects.remove(key) {
+            self.mem_used -= old.logical_size();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(cfg: FunctionConfig) -> FunctionInstance {
+        FunctionInstance::new(FunctionId::from_raw(0), cfg, SimTime::ZERO, SimTime::MAX)
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(FunctionId::from_raw(7).to_string(), "fn-7");
+    }
+
+    #[test]
+    fn store_and_capacity() {
+        let mut f = inst(FunctionConfig::LARGE); // 4 GB, ~3.75 usable
+        let k1 = ObjectKey::new("a");
+        f.store(k1.clone(), Blob::synthetic(ByteSize::from_gb(2))).expect("fits");
+        assert_eq!(f.mem_used(), ByteSize::from_gb(2));
+        assert!(f.contains(&k1));
+        let err = f
+            .store(ObjectKey::new("b"), Blob::synthetic(ByteSize::from_gb(2)))
+            .unwrap_err();
+        match err {
+            FunctionError::OutOfMemory { need, .. } => assert_eq!(need, ByteSize::from_gb(2)),
+        }
+    }
+
+    #[test]
+    fn replace_reuses_space() {
+        let mut f = inst(FunctionConfig::LARGE);
+        let k = ObjectKey::new("a");
+        f.store(k.clone(), Blob::synthetic(ByteSize::from_gb(3))).expect("fits");
+        // Replacing a 3 GB object with a 3.5 GB one works because the old
+        // space is reclaimed first.
+        f.store(k.clone(), Blob::synthetic(ByteSize::from_gb_f64(3.5))).expect("fits via replace");
+        assert_eq!(f.mem_used(), ByteSize::from_gb_f64(3.5));
+        assert_eq!(f.object_count(), 1);
+    }
+
+    #[test]
+    fn evict_frees_memory() {
+        let mut f = inst(FunctionConfig::SMALL);
+        let k = ObjectKey::new("a");
+        f.store(k.clone(), Blob::synthetic(ByteSize::from_mb(500))).expect("fits");
+        assert!(f.evict(&k));
+        assert!(!f.evict(&k));
+        assert_eq!(f.mem_used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn reclaim_clears_state_and_bumps_generation() {
+        let mut f = inst(FunctionConfig::LARGE);
+        f.store(ObjectKey::new("a"), Blob::synthetic(ByteSize::from_mb(100))).expect("fits");
+        let t = SimTime::from_secs(100);
+        f.reclaim(t, SimTime::MAX);
+        assert_eq!(f.object_count(), 0);
+        assert_eq!(f.generation(), 1);
+        assert_eq!(f.deployed_at(), t);
+        assert_eq!(f.mem_used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn compute_profiles_by_size() {
+        assert_eq!(
+            FunctionConfig::SMALL.compute_profile(),
+            ComputeProfile::FUNCTION_1CORE
+        );
+        assert_eq!(
+            FunctionConfig::LARGE.compute_profile(),
+            ComputeProfile::FUNCTION_2CORE
+        );
+        assert!(FunctionConfig::MAX.compute_profile().speed_factor > 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # flstore-serverless — serverless function platform simulator
+//!
+//! The substrate FLStore's serverless cache runs on: Lambda/OpenFaaS-class
+//! function instances with bounded memory, cold starts, idle-TTL and
+//! heavy-tailed forced reclamation, keep-alive pings, and GB-second billing.
+//!
+//! * [`function`] — [`FunctionInstance`](function::FunctionInstance): bounded
+//!   memory holding cached objects next to co-located compute.
+//! * [`platform`] — [`Platform`](platform::Platform): spawn / invoke /
+//!   store / ping / reclaim, with cumulative billing.
+//!
+//! The failure model matters: FLStore's fault-tolerance story (paper §4.5,
+//! Figs. 13–14) is about recovering cached state when the provider reclaims
+//! warm sandboxes. [`platform::ReclaimModel`] exposes the knobs the
+//! experiments turn.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod function;
+pub mod platform;
+
+pub use function::{FunctionConfig, FunctionError, FunctionId, FunctionInstance, ReclaimCause};
+pub use platform::{
+    InvokeOutcome, Platform, PlatformBilling, PlatformConfig, PlatformError, ReclaimModel,
+};

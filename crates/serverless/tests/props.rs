@@ -1,0 +1,126 @@
+//! Property-based invariants for the serverless platform simulator.
+
+use proptest::prelude::*;
+
+use flstore_cloud::blob::{Blob, ObjectKey};
+use flstore_cloud::compute::WorkUnits;
+use flstore_serverless::function::FunctionConfig;
+use flstore_serverless::platform::{Platform, PlatformConfig, ReclaimModel};
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::{SimDuration, SimTime};
+
+fn quiet(seed: u64) -> Platform {
+    Platform::new(
+        PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #[test]
+    fn invocations_never_travel_back_in_time(
+        seed in 0u64..500,
+        jobs in prop::collection::vec((0u64..10_000, 1u64..50), 1..30),
+    ) {
+        let mut platform = quiet(seed);
+        let id = platform.spawn(SimTime::ZERO, FunctionConfig::LARGE);
+        let mut arrivals = jobs;
+        arrivals.sort_by_key(|(at, _)| *at);
+        let mut last_end = SimTime::ZERO;
+        for (at, work_ds) in arrivals {
+            let now = SimTime::from_secs(at);
+            let out = platform
+                .invoke(now, id, WorkUnits::from_ref_seconds(work_ds as f64 / 10.0))
+                .expect("spawned");
+            prop_assert!(out.start >= now);
+            prop_assert!(out.end > out.start);
+            // Single worker: executions never overlap.
+            prop_assert!(out.start >= last_end);
+            last_end = out.end;
+        }
+    }
+
+    #[test]
+    fn billing_is_monotone_in_work(seed in 0u64..500, a in 1u64..100, b in 1u64..100) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut run = |work: u64| {
+            let mut platform = quiet(seed);
+            let id = platform.spawn(SimTime::ZERO, FunctionConfig::LARGE);
+            platform
+                .invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(work as f64))
+                .expect("spawned");
+            platform.billing().invocation_cost.as_dollars()
+        };
+        prop_assert!(run(lo) <= run(hi));
+    }
+
+    #[test]
+    fn memory_accounting_is_exact(
+        seed in 0u64..500,
+        sizes in prop::collection::vec(1u64..800, 1..10),
+    ) {
+        let mut platform = quiet(seed);
+        let id = platform.spawn(SimTime::ZERO, FunctionConfig::MAX);
+        let mut stored = 0u64;
+        for (i, mb) in sizes.iter().enumerate() {
+            let blob = Blob::synthetic(ByteSize::from_mb(*mb));
+            if platform
+                .store_object(SimTime::ZERO, id, ObjectKey::new(format!("o{i}")), blob)
+                .is_ok()
+            {
+                stored += mb;
+            }
+        }
+        let inst = platform.instance(id).expect("spawned");
+        prop_assert_eq!(inst.mem_used(), ByteSize::from_mb(stored));
+        // Never exceeds configured memory.
+        prop_assert!(inst.mem_used() <= FunctionConfig::MAX.memory);
+    }
+
+    #[test]
+    fn keepalive_preserves_state_without_forced_reclaim(
+        seed in 0u64..200,
+        hours in 1u64..24,
+    ) {
+        let mut platform = quiet(seed);
+        let id = platform.spawn(SimTime::ZERO, FunctionConfig::LARGE);
+        platform
+            .store_object(SimTime::ZERO, id, ObjectKey::new("x"), Blob::synthetic(ByteSize::from_mb(10)))
+            .expect("fits");
+        let end = SimTime::ZERO + SimDuration::from_hours(hours);
+        let reclaimed = platform.run_keepalive(SimTime::ZERO, end);
+        prop_assert!(reclaimed.is_empty());
+        prop_assert_eq!(platform.instance(id).expect("alive").object_count(), 1);
+        // Ping billing grows linearly with the window.
+        let pings = platform.billing().pings;
+        prop_assert_eq!(pings, hours * 60);
+    }
+
+    #[test]
+    fn forced_reclaim_always_clears_state(seed in 0u64..200) {
+        let mut platform = Platform::new(
+            PlatformConfig {
+                reclaim: ReclaimModel {
+                    enabled: true,
+                    min_lifetime_hours: 0.001, // everything dies immediately
+                    alpha: 5.0,
+                },
+                ..PlatformConfig::default()
+            },
+            seed,
+        );
+        let id = platform.spawn(SimTime::ZERO, FunctionConfig::LARGE);
+        platform
+            .store_object(SimTime::ZERO, id, ObjectKey::new("x"), Blob::synthetic(ByteSize::from_mb(10)))
+            .expect("fits");
+        let later = SimTime::ZERO + SimDuration::from_hours(1);
+        let cause = platform.refresh(later, id).expect("spawned");
+        prop_assert!(cause.is_some());
+        let inst = platform.instance(id).expect("slot remains");
+        prop_assert_eq!(inst.object_count(), 0);
+        prop_assert!(inst.generation() >= 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # flstore-sim — deterministic simulation substrate
+//!
+//! Foundation crate for the FLStore reproduction. Provides the virtual
+//! clock, deterministic random number generation, queueing, byte/cost/latency
+//! accounting types, and descriptive statistics that every other crate in the
+//! workspace builds on.
+//!
+//! Nothing in this crate knows about federated learning or cloud services;
+//! it is a general discrete-time simulation toolkit:
+//!
+//! * [`time`] — [`SimTime`](time::SimTime) / [`SimDuration`](time::SimDuration)
+//!   virtual-clock primitives (microsecond resolution).
+//! * [`bytes`] — [`ByteSize`](bytes::ByteSize) logical data volumes.
+//! * [`cost`] — [`Cost`](cost::Cost) dollars and
+//!   [`CostBreakdown`](cost::CostBreakdown) category attribution.
+//! * [`latency`] — [`LatencyBreakdown`](latency::LatencyBreakdown)
+//!   comm/comp/queue/routing attribution.
+//! * [`rng`] — [`DetRng`](rng::DetRng) seeded generator with the exponential
+//!   / Pareto / Zipf / Dirichlet samplers the experiments need.
+//! * [`queue`] — [`ServerPool`](queue::ServerPool) multi-server FIFO queueing.
+//! * [`des`] — [`EventQueue`](des::EventQueue) deterministic future-event list.
+//! * [`stats`] — [`Summary`](stats::Summary) / [`OnlineStats`](stats::OnlineStats).
+//!
+//! # Examples
+//!
+//! ```
+//! use flstore_sim::prelude::*;
+//!
+//! // A request that queues on one of two servers, then transfers and computes.
+//! let mut pool = ServerPool::new(2);
+//! let arrival = SimTime::from_secs(10);
+//! let service = SimDuration::from_secs_f64(2.8);
+//! let grant = pool.assign(arrival, service);
+//! let latency = LatencyBreakdown {
+//!     queueing: grant.queue_wait,
+//!     computation: service,
+//!     ..LatencyBreakdown::ZERO
+//! };
+//! assert_eq!(latency.total(), SimDuration::from_secs_f64(2.8));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bytes;
+pub mod cost;
+pub mod des;
+pub mod latency;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+/// Convenient glob-import of the types used by nearly every downstream crate.
+pub mod prelude {
+    pub use crate::bytes::ByteSize;
+    pub use crate::cost::{Cost, CostBreakdown};
+    pub use crate::des::EventQueue;
+    pub use crate::latency::LatencyBreakdown;
+    pub use crate::queue::{Assignment, ServerPool};
+    pub use crate::rng::{DetRng, Zipf};
+    pub use crate::stats::{reduction_pct, OnlineStats, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+}

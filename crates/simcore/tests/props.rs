@@ -1,0 +1,122 @@
+//! Property-based invariants for the simulation substrate.
+
+use proptest::prelude::*;
+
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::queue::ServerPool;
+use flstore_sim::rng::{DetRng, Zipf};
+use flstore_sim::stats::{percentile_sorted, Summary};
+use flstore_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn time_add_sub_round_trips(base in 0u64..1_000_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert!(t + d >= t);
+    }
+
+    #[test]
+    fn duration_sum_is_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert!(da + db >= da);
+        prop_assert!(da + db >= db);
+        prop_assert_eq!(da + db, db + da);
+    }
+
+    #[test]
+    fn secs_conversion_is_consistent(micros in 0u64..10_000_000_000) {
+        let d = SimDuration::from_micros(micros);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        // Round-trip through f64 seconds is lossless at microsecond scale.
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn byte_size_arithmetic(a in 0u64..1_000_000_000_000, b in 0u64..1_000_000_000_000) {
+        let sa = ByteSize::from_bytes(a);
+        let sb = ByteSize::from_bytes(b);
+        prop_assert_eq!(sa + sb, sb + sa);
+        prop_assert_eq!((sa + sb) - sb, sa);
+        prop_assert_eq!(sb - (sa + sb), ByteSize::ZERO); // saturates
+    }
+
+    #[test]
+    fn summary_bounds_hold(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_values(&values).expect("non-empty");
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(values in prop::collection::vec(-1e6f64..1e6, 1..100),
+                                   q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi) + 1e-9);
+    }
+
+    #[test]
+    fn server_pool_never_starts_before_arrival(
+        servers in 1usize..8,
+        jobs in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..50),
+    ) {
+        let mut pool = ServerPool::new(servers);
+        let mut arrivals: Vec<(u64, u64)> = jobs;
+        arrivals.sort_by_key(|(at, _)| *at);
+        let mut per_server_last_end: Vec<SimTime> = vec![SimTime::ZERO; servers];
+        for (at, service) in arrivals {
+            let now = SimTime::from_micros(at);
+            let a = pool.assign(now, SimDuration::from_micros(service));
+            prop_assert!(a.start >= now);
+            prop_assert_eq!(a.end - a.start, SimDuration::from_micros(service));
+            prop_assert_eq!(a.queue_wait, a.start - now);
+            // No overlap on the same server.
+            prop_assert!(a.start >= per_server_last_end[a.server]);
+            per_server_last_end[a.server] = a.end;
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support(n in 1usize..500, s in 0.0f64..3.0, seed in 0u64..1000) {
+        let zipf = Zipf::new(n, s);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..50 {
+            let rank = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&rank));
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_a_distribution(k in 1usize..30, alpha in 0.05f64..10.0, seed in 0u64..1000) {
+        let mut rng = DetRng::new(seed);
+        let p = rng.dirichlet(k, alpha);
+        prop_assert_eq!(p.len(), k);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(p.iter().all(|x| (0.0..=1.0 + 1e-9).contains(x)));
+    }
+
+    #[test]
+    fn choose_k_yields_distinct_valid_indices(n in 1usize..200, seed in 0u64..1000) {
+        let mut rng = DetRng::new(seed);
+        let k = (n / 2).max(1);
+        let picks = rng.choose_k(n, k);
+        prop_assert_eq!(picks.len(), k);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(sorted.iter().all(|i| *i < n));
+    }
+}

@@ -1,0 +1,366 @@
+//! The experiment driver: replays an FL job and a non-training request
+//! trace against any serving system, producing comparable reports.
+//!
+//! This is the machinery behind every FLStore-vs-baseline figure: the same
+//! job, the same requests, the same virtual clock — only the serving
+//! architecture changes.
+
+use flstore_baselines::agg::AggregatorBaseline;
+use flstore_core::store::FlStore;
+use flstore_fl::ids::{ClientId, JobId};
+use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+use flstore_sim::cost::{Cost, CostBreakdown};
+use flstore_sim::rng::DetRng;
+use flstore_sim::stats::Summary;
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::service::RequestOutcome;
+use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
+
+/// Anything that can ingest FL rounds and serve non-training requests.
+pub trait ServingSystem {
+    /// Architecture label for reports.
+    fn label(&self) -> String;
+
+    /// Ingests one round's metadata at `now`.
+    fn ingest_round(&mut self, now: SimTime, record: &RoundRecord);
+
+    /// Serves a request; `None` when it cannot be served.
+    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest)
+        -> Option<RequestOutcome>;
+
+    /// Total cost over the window ending at `now` (requests + background +
+    /// always-on infrastructure + storage).
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown;
+
+    /// Always-on infrastructure cost alone over the window ending at `now`
+    /// (used to amortize per-request costs the way the paper does).
+    fn infra_cost(&mut self, now: SimTime) -> Cost;
+}
+
+impl ServingSystem for FlStore {
+    fn label(&self) -> String {
+        self.policy_name().to_string()
+    }
+
+    fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
+        FlStore::ingest_round(self, now, record);
+    }
+
+    fn serve_request(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+    ) -> Option<RequestOutcome> {
+        FlStore::serve(self, now, request).ok().map(|s| s.measured)
+    }
+
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
+        self.total_cost(now)
+    }
+
+    fn infra_cost(&mut self, now: SimTime) -> Cost {
+        // FLStore has no dedicated always-on servers; its standing cost is
+        // the keep-alive pings.
+        let _ = now;
+        self.platform().billing().keepalive_cost
+    }
+}
+
+impl ServingSystem for AggregatorBaseline {
+    fn label(&self) -> String {
+        AggregatorBaseline::label(self).to_string()
+    }
+
+    fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
+        AggregatorBaseline::ingest_round(self, now, record);
+    }
+
+    fn serve_request(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+    ) -> Option<RequestOutcome> {
+        AggregatorBaseline::serve(self, now, request)
+            .ok()
+            .map(|(_, m)| m)
+    }
+
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
+        self.total_cost(now)
+    }
+
+    fn infra_cost(&mut self, now: SimTime) -> Cost {
+        AggregatorBaseline::infra_cost(self, now)
+    }
+}
+
+/// Trace parameters: how many requests of which kinds over which window.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Seed for arrivals and target selection.
+    pub seed: u64,
+    /// Number of requests.
+    pub requests: usize,
+    /// Window the requests spread over (training runs during the same
+    /// window).
+    pub window: SimDuration,
+    /// Workload mix (requests cycle through these kinds uniformly).
+    pub kinds: Vec<WorkloadKind>,
+}
+
+impl TraceConfig {
+    /// The paper's main trace: 3000 requests over 50 hours across the ten
+    /// workloads (§5.2).
+    pub fn paper_50h(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            requests: 3000,
+            window: SimDuration::from_hours(50),
+            kinds: WorkloadKind::ALL.to_vec(),
+        }
+    }
+
+    /// A small trace for tests.
+    pub fn smoke(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            requests: 40,
+            window: SimDuration::from_hours(1),
+            kinds: WorkloadKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// Report of one drive: per-request outcomes plus window costs.
+#[derive(Debug, Clone)]
+pub struct DriveReport {
+    /// Architecture label.
+    pub label: String,
+    /// Served request outcomes, in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests that could not be served.
+    pub errors: usize,
+    /// Window-total cost.
+    pub total_cost: CostBreakdown,
+    /// Always-on infrastructure share of the window.
+    pub infra_cost: Cost,
+    /// Window length.
+    pub window: SimDuration,
+}
+
+impl DriveReport {
+    /// Per-request latency summary (seconds).
+    pub fn latency_summary(&self) -> Option<Summary> {
+        let secs: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(|o| o.latency.total().as_secs_f64())
+            .collect();
+        Summary::from_values(&secs)
+    }
+
+    /// Per-request cost summary (dollars) with the always-on infrastructure
+    /// amortized across requests — the paper's per-request costing.
+    pub fn amortized_cost_summary(&self) -> Option<Summary> {
+        let n = self.outcomes.len().max(1);
+        let share = self.infra_cost.as_dollars() / n as f64;
+        let dollars: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(|o| o.cost.total().as_dollars() + share)
+            .collect();
+        Summary::from_values(&dollars)
+    }
+
+    /// Outcomes of one workload kind.
+    pub fn by_kind(&self, kind: WorkloadKind) -> Vec<&RequestOutcome> {
+        self.outcomes.iter().filter(|o| o.kind == kind).collect()
+    }
+
+    /// Overall cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let hits: u64 = self.outcomes.iter().map(|o| o.cache_hits as u64).sum();
+        let misses: u64 = self.outcomes.iter().map(|o| o.cache_misses as u64).sum();
+        if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// Drives `system` through one FL job plus a request trace.
+///
+/// Rounds are ingested at an even cadence across the window; requests
+/// arrive Poisson. Each request targets the *latest ingested round* (the FL
+/// pattern the paper's policies exploit); P3 requests pick a tracked client
+/// from that round's participants, cycling through a small set of clients
+/// under audit.
+pub fn drive<S: ServingSystem>(
+    system: &mut S,
+    job_cfg: &FlJobConfig,
+    trace: &TraceConfig,
+) -> DriveReport {
+    assert!(!trace.kinds.is_empty(), "trace needs at least one workload kind");
+    let mut sim = FlJobSim::new(job_cfg.clone());
+    let mut rng = DetRng::stream(trace.seed, "trace-targets");
+
+    let round_interval = trace.window.div_u64(u64::from(job_cfg.rounds.max(1)));
+    let arrivals = crate::arrival::poisson_arrivals(
+        trace.seed,
+        SimTime::ZERO,
+        trace.window,
+        trace.requests,
+    );
+
+    let mut outcomes = Vec::with_capacity(trace.requests);
+    let mut errors = 0usize;
+    let mut next_round_at = SimTime::ZERO;
+    let mut latest: Option<RoundRecord> = None;
+    let mut audited: Vec<ClientId> = Vec::new();
+    let mut request_seq = 0u64;
+
+    for at in arrivals {
+        // Ingest every round due before this arrival.
+        while next_round_at <= at {
+            match sim.next_round() {
+                Some(record) => {
+                    system.ingest_round(next_round_at, &record);
+                    latest = Some(record);
+                    next_round_at += round_interval;
+                }
+                None => break,
+            }
+        }
+        let Some(record) = latest.as_ref() else {
+            errors += 1;
+            continue;
+        };
+        let kind = trace.kinds[request_seq as usize % trace.kinds.len()];
+        request_seq += 1;
+        let client = match kind.policy_class() {
+            PolicyClass::P3AcrossRounds => {
+                // Audits focus on a rotating handful of clients.
+                if audited.len() < 4 {
+                    let pick = record.updates[rng.index(record.updates.len())].client;
+                    if !audited.contains(&pick) {
+                        audited.push(pick);
+                    }
+                }
+                Some(audited[request_seq as usize % audited.len()])
+            }
+            _ => None,
+        };
+        let request = WorkloadRequest::new(
+            RequestId::new(request_seq),
+            kind,
+            JobId::new(job_cfg.job.as_u32()),
+            record.round,
+            client,
+        );
+        match system.serve_request(at, &request) {
+            Some(outcome) => outcomes.push(outcome),
+            None => errors += 1,
+        }
+    }
+
+    let end = SimTime::ZERO + trace.window;
+    DriveReport {
+        label: system.label(),
+        outcomes,
+        errors,
+        total_cost: system.window_cost(end),
+        infra_cost: system.infra_cost(end),
+        window: trace.window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flstore_baselines::agg::AggregatorConfig;
+    use flstore_core::policy::TailoredPolicy;
+    use flstore_core::store::FlStoreConfig;
+    use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+
+    fn small_job() -> FlJobConfig {
+        FlJobConfig {
+            rounds: 20,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        }
+    }
+
+    fn flstore(job: &FlJobConfig) -> FlStore {
+        let cfg = FlStoreConfig {
+            platform: PlatformConfig {
+                reclaim: ReclaimModel::DISABLED,
+                ..PlatformConfig::default()
+            },
+            ..FlStoreConfig::for_model(&job.model)
+        };
+        FlStore::new(cfg, Box::new(TailoredPolicy::new()), job.job, job.model)
+    }
+
+    #[test]
+    fn drives_flstore_through_a_trace() {
+        let job = small_job();
+        let mut store = flstore(&job);
+        let report = drive(&mut store, &job, &TraceConfig::smoke(5));
+        assert_eq!(report.label, "FLStore");
+        assert!(report.outcomes.len() >= 35, "served {}", report.outcomes.len());
+        assert!(report.hit_rate() > 0.8, "hit rate {}", report.hit_rate());
+        assert!(report.total_cost.total().as_dollars() > 0.0);
+    }
+
+    #[test]
+    fn drives_baseline_with_identical_trace() {
+        let job = small_job();
+        let mut agg = AggregatorBaseline::new(
+            AggregatorConfig::objstore_agg(),
+            job.job,
+            job.model,
+            SimTime::ZERO,
+        );
+        let report = drive(&mut agg, &job, &TraceConfig::smoke(5));
+        assert_eq!(report.label, "ObjStore-Agg");
+        assert!(report.outcomes.len() >= 35);
+        // Baseline never hits a serverless cache.
+        assert!(report.hit_rate() < 0.6);
+    }
+
+    #[test]
+    fn flstore_beats_objstore_agg_on_latency() {
+        let job = small_job();
+        let trace = TraceConfig::smoke(7);
+        let mut store = flstore(&job);
+        let fl = drive(&mut store, &job, &trace);
+        let mut agg = AggregatorBaseline::new(
+            AggregatorConfig::objstore_agg(),
+            job.job,
+            job.model,
+            SimTime::ZERO,
+        );
+        let base = drive(&mut agg, &job, &trace);
+        let fl_mean = fl.latency_summary().expect("served").mean;
+        let base_mean = base.latency_summary().expect("served").mean;
+        assert!(
+            fl_mean < base_mean * 0.6,
+            "FLStore {fl_mean:.2}s vs ObjStore-Agg {base_mean:.2}s"
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let job = small_job();
+        let trace = TraceConfig::smoke(9);
+        let mut a = flstore(&job);
+        let mut b = flstore(&job);
+        let ra = drive(&mut a, &job, &trace);
+        let rb = drive(&mut b, &job, &trace);
+        assert_eq!(ra.outcomes.len(), rb.outcomes.len());
+        let la: Vec<f64> = ra.outcomes.iter().map(|o| o.latency.total().as_secs_f64()).collect();
+        let lb: Vec<f64> = rb.outcomes.iter().map(|o| o.latency.total().as_secs_f64()).collect();
+        assert_eq!(la, lb);
+    }
+}

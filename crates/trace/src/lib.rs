@@ -1,0 +1,23 @@
+//! # flstore-trace — traces, drivers, and scenario presets
+//!
+//! Generates the non-training request traces of the paper's evaluation and
+//! replays them — together with the producing FL job — against any serving
+//! architecture:
+//!
+//! * [`arrival`] — uniform / Poisson / burst arrival processes.
+//! * [`driver`] — the [`ServingSystem`](driver::ServingSystem) trait
+//!   (implemented for `FlStore` and `AggregatorBaseline`), the
+//!   [`drive`](driver::drive) loop, and [`DriveReport`](driver::DriveReport)
+//!   summaries.
+//! * [`scenario`] — one preset per paper experiment: eval jobs, policy
+//!   variants, fault-injection deployments, the 50-hour trace.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrival;
+pub mod driver;
+pub mod scenario;
+
+pub use driver::{drive, DriveReport, ServingSystem, TraceConfig};
+pub use scenario::PolicyVariant;

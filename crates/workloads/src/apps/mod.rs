@@ -1,0 +1,16 @@
+//! The ten workload implementations.
+//!
+//! Each submodule is a pure function over typed FL metadata — no storage,
+//! no clocks — so the same implementation runs identically on FLStore's
+//! serverless functions and on the baselines' aggregator VM.
+
+pub mod clustering;
+pub mod cosine;
+pub mod debugging;
+pub mod filtering;
+pub mod incentives;
+pub mod inference;
+pub mod personalization;
+pub mod reputation;
+pub mod sched_cluster;
+pub mod sched_perf;

@@ -1,0 +1,99 @@
+//! Performance-aware scheduling (P4).
+//!
+//! Oort-style guided participant selection (Lai et al. 2021b): rank the
+//! whole pool by a utility that combines statistical value (recent loss —
+//! clients whose data the model has not fit yet are informative) and system
+//! speed (device compute + uplink), then pick the top `k` available
+//! candidates for the next round.
+
+use std::collections::HashMap;
+
+use flstore_fl::ids::ClientId;
+use flstore_fl::metrics::RoundMetrics;
+
+use crate::outputs::SchedPerfOutput;
+
+/// Ranks candidates from a window of round-metrics records (oldest first)
+/// and selects `k` participants. A single (latest) record suffices — it
+/// carries cumulative per-client state — but longer windows smooth the
+/// loss signal.
+///
+/// Returns `None` when `window` is empty.
+pub fn run(window: &[&RoundMetrics], k: usize) -> Option<SchedPerfOutput> {
+    let latest = window.last()?;
+
+    // Average each client's recent loss across the window for stability.
+    let mut loss_sum: HashMap<ClientId, (f64, u32)> = HashMap::new();
+    for metrics in window {
+        for c in &metrics.clients {
+            let e = loss_sum.entry(c.client).or_insert((0.0, 0));
+            e.0 += c.last_loss;
+            e.1 += 1;
+        }
+    }
+
+    let mut utilities: Vec<(ClientId, f64)> = latest
+        .clients
+        .iter()
+        .map(|c| {
+            let (sum, n) = loss_sum.get(&c.client).copied().unwrap_or((c.last_loss, 1));
+            let avg_loss = sum / n.max(1) as f64;
+            // System term: fast compute and fat uplink shrink round time.
+            let sys = 1.0 / (1.0 / c.compute_speed.max(0.05) + 8.0 / c.uplink_mbps.max(0.1));
+            let util = avg_loss * sys * c.reliability;
+            (c.client, util)
+        })
+        .collect();
+    utilities.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("utilities are finite"));
+
+    let selected = utilities
+        .iter()
+        .filter(|(c, _)| {
+            latest
+                .client(*c)
+                .map(|info| info.available)
+                .unwrap_or(false)
+        })
+        .take(k)
+        .map(|(c, _)| *c)
+        .collect();
+    Some(SchedPerfOutput {
+        utilities,
+        selected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::sample_rounds;
+
+    #[test]
+    fn selects_k_available_clients() {
+        let rounds = sample_rounds(10, 0.0);
+        let window: Vec<&RoundMetrics> = rounds.iter().rev().take(5).rev().map(|r| &r.metrics).collect();
+        let out = run(&window, 5).expect("non-empty");
+        assert!(out.selected.len() <= 5);
+        let latest = window.last().expect("window");
+        for c in &out.selected {
+            assert!(latest.client(*c).expect("in pool").available);
+        }
+    }
+
+    #[test]
+    fn utilities_rank_fast_lossy_clients_higher() {
+        let rounds = sample_rounds(8, 0.0);
+        let window: Vec<&RoundMetrics> = rounds.iter().map(|r| &r.metrics).collect();
+        let out = run(&window, 3).expect("non-empty");
+        // Ranking must be non-increasing.
+        for pair in out.utilities.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        assert_eq!(out.utilities.len(), window.last().expect("w").clients.len());
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        assert!(run(&[], 5).is_none());
+    }
+}

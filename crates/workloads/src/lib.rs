@@ -1,0 +1,106 @@
+//! # flstore-workloads — the non-training FL workloads
+//!
+//! The paper's Table 1 taxonomy and the ten evaluated workloads, implemented
+//! as real algorithms over the `flstore-fl` metadata stream:
+//!
+//! | Workload | Class | Kernel |
+//! |---|---|---|
+//! | Inference | P1 | linear probe over the aggregate |
+//! | Personalized | P2 | k-means on direction ⊕ accuracy |
+//! | Clustering | P2 | k-means on update weights |
+//! | Malicious Filtering | P2 | robust norm/cosine outlier scores |
+//! | Cosine similarity | P2 | update-to-aggregate similarity |
+//! | Sched. (Cluster) | P2 | TiFL latency tiers |
+//! | Incentives | P2 | leave-one-out contribution shares |
+//! | Debugging | P3 | FedDebug-style influence rewind |
+//! | Reputation calc. | P3 | EWMA contribution history |
+//! | Sched. (Perf.) | P4 | Oort utility ranking |
+//!
+//! * [`taxonomy`] — [`WorkloadKind`](taxonomy::WorkloadKind),
+//!   [`PolicyClass`](taxonomy::PolicyClass), and compute calibration.
+//! * [`request`] — [`WorkloadRequest`](request::WorkloadRequest) and the
+//!   [`JobCatalog`](request::JobCatalog) that resolves data needs.
+//! * [`apps`] — the ten implementations (pure functions).
+//! * [`run`] — [`execute`](run::execute): storage-agnostic dispatch.
+//! * [`outputs`] / [`algorithms`] — typed results and shared kernels.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod apps;
+pub mod outputs;
+pub mod request;
+pub mod run;
+pub mod service;
+pub mod taxonomy;
+
+pub use outputs::WorkloadOutput;
+pub use request::{JobCatalog, RequestId, WorkloadRequest};
+pub use run::{execute, WorkloadError, WorkloadOutcome};
+pub use service::{RequestOutcome, ServiceLedger};
+pub use taxonomy::{PolicyClass, WorkloadKind};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures: small deterministic FL jobs with ground truth.
+
+    use flstore_fl::ids::JobId;
+    use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+    use flstore_fl::metadata::{MetaKey, MetaValue};
+
+    /// A sampled job with its latent cluster ground truth.
+    pub struct TestJob {
+        pub records: Vec<RoundRecord>,
+        pub clusters: Vec<usize>,
+    }
+
+    /// Runs a small job with custom pool/participation sizes.
+    pub fn sample_rounds_with(
+        rounds: u32,
+        malicious_fraction: f64,
+        total_clients: u32,
+        clients_per_round: u32,
+    ) -> TestJob {
+        let cfg = FlJobConfig {
+            rounds,
+            malicious_fraction,
+            total_clients,
+            clients_per_round,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        let sim = FlJobSim::new(cfg);
+        let clusters = sim.ground_truth_clusters().to_vec();
+        TestJob {
+            records: sim.collect(),
+            clusters,
+        }
+    }
+
+    /// Runs a small job with the default 20-client pool, 8 per round.
+    pub fn sample_rounds(rounds: u32, malicious_fraction: f64) -> Vec<RoundRecord> {
+        sample_rounds_with(rounds, malicious_fraction, 20, 8).records
+    }
+
+    /// Resolves a metadata key against generated records (a test-side stand-
+    /// in for a storage system).
+    pub fn lookup(records: &[RoundRecord], key: &MetaKey) -> Option<MetaValue> {
+        let record = records.iter().find(|r| r.round == key.round)?;
+        match key.kind {
+            flstore_fl::metadata::MetaKind::ClientUpdate => record
+                .updates
+                .iter()
+                .find(|u| Some(u.client) == key.client)
+                .map(|u| MetaValue::Update(u.clone())),
+            flstore_fl::metadata::MetaKind::Aggregate => {
+                Some(MetaValue::Aggregate(record.aggregate.clone()))
+            }
+            flstore_fl::metadata::MetaKind::HyperParams => {
+                Some(MetaValue::Hyper(record.hyperparams.clone()))
+            }
+            flstore_fl::metadata::MetaKind::RoundMetrics => {
+                Some(MetaValue::Metrics(record.metrics.clone()))
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed results of the ten workloads.
+
+use serde::{Deserialize, Serialize};
+
+use flstore_fl::ids::{ClientId, Round};
+use flstore_sim::bytes::ByteSize;
+
+/// Cosine-similarity analysis of a round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CosineOutput {
+    /// Similarity of each client's update to the round aggregate.
+    pub per_client: Vec<(ClientId, f64)>,
+    /// Mean similarity.
+    pub mean: f64,
+    /// Minimum similarity (the most divergent client).
+    pub min: f64,
+}
+
+/// Malicious-client filtering result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilteringOutput {
+    /// Clients flagged as malicious.
+    pub flagged: Vec<ClientId>,
+    /// Anomaly score per client (higher = more suspicious).
+    pub scores: Vec<(ClientId, f64)>,
+}
+
+/// Clustering of a round's updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringOutput {
+    /// Cluster index per client.
+    pub assignments: Vec<(ClientId, usize)>,
+    /// Number of clusters used.
+    pub k: usize,
+    /// Sum of squared distances to centroids.
+    pub inertia: f64,
+}
+
+/// Personalization grouping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersonalizationOutput {
+    /// Personalization group per client.
+    pub groups: Vec<(ClientId, usize)>,
+    /// Mean local accuracy per group.
+    pub group_accuracy: Vec<f64>,
+}
+
+/// TiFL-style tier-based scheduling decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedClusterOutput {
+    /// Tier index per client (0 = fastest).
+    pub tiers: Vec<(ClientId, usize)>,
+    /// Tier chosen for the next round.
+    pub selected_tier: usize,
+    /// Clients scheduled for the next round.
+    pub selected: Vec<ClientId>,
+}
+
+/// Oort-style utility-based scheduling decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedPerfOutput {
+    /// Utility score per candidate client.
+    pub utilities: Vec<(ClientId, f64)>,
+    /// Top-utility clients selected for the next round.
+    pub selected: Vec<ClientId>,
+}
+
+/// Reputation trace for one client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReputationOutput {
+    /// The tracked client.
+    pub client: ClientId,
+    /// Per-round contribution history (rounds where it participated).
+    pub history: Vec<(Round, f64)>,
+    /// EWMA reputation in `[0, 1]`.
+    pub reputation: f64,
+}
+
+/// Debugging trace for one client (FedDebug-style rewind).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DebuggingOutput {
+    /// The traced client.
+    pub client: ClientId,
+    /// Per-round influence anomaly (higher = more damaging to the
+    /// aggregate).
+    pub per_round: Vec<(Round, f64)>,
+    /// Whether the client is diagnosed as faulty.
+    pub faulty: bool,
+}
+
+/// Incentive payout for one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncentivesOutput {
+    /// Credit paid to each contributing client.
+    pub payouts: Vec<(ClientId, f64)>,
+    /// Total budget distributed.
+    pub budget: f64,
+}
+
+/// Inference serving result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceOutput {
+    /// Number of inputs scored.
+    pub batch: usize,
+    /// Mean model score over the batch.
+    pub mean_score: f64,
+}
+
+/// Union of all workload results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadOutput {
+    /// Cosine-similarity analysis.
+    Cosine(CosineOutput),
+    /// Malicious-client filtering.
+    Filtering(FilteringOutput),
+    /// Clustering.
+    Clustering(ClusteringOutput),
+    /// Personalization grouping.
+    Personalization(PersonalizationOutput),
+    /// Tier-based scheduling.
+    SchedCluster(SchedClusterOutput),
+    /// Utility-based scheduling.
+    SchedPerf(SchedPerfOutput),
+    /// Reputation calculation.
+    Reputation(ReputationOutput),
+    /// Debugging trace.
+    Debugging(DebuggingOutput),
+    /// Incentive payouts.
+    Incentives(IncentivesOutput),
+    /// Inference serving.
+    Inference(InferenceOutput),
+}
+
+impl WorkloadOutput {
+    /// Approximate serialized size of the result returned to the client —
+    /// results are summaries, orders of magnitude smaller than the inputs.
+    pub fn result_bytes(&self) -> ByteSize {
+        let entries = match self {
+            WorkloadOutput::Cosine(o) => o.per_client.len(),
+            WorkloadOutput::Filtering(o) => o.scores.len(),
+            WorkloadOutput::Clustering(o) => o.assignments.len(),
+            WorkloadOutput::Personalization(o) => o.groups.len(),
+            WorkloadOutput::SchedCluster(o) => o.tiers.len(),
+            WorkloadOutput::SchedPerf(o) => o.utilities.len(),
+            WorkloadOutput::Reputation(o) => o.history.len(),
+            WorkloadOutput::Debugging(o) => o.per_round.len(),
+            WorkloadOutput::Incentives(o) => o.payouts.len(),
+            WorkloadOutput::Inference(_) => 1,
+        };
+        ByteSize::from_bytes(256 + 16 * entries as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_bytes_are_small() {
+        let out = WorkloadOutput::Cosine(CosineOutput {
+            per_client: vec![(ClientId::new(0), 0.9); 10],
+            mean: 0.9,
+            min: 0.8,
+        });
+        assert!(out.result_bytes() < ByteSize::from_kb(1));
+    }
+}

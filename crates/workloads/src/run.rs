@@ -1,0 +1,266 @@
+//! Dispatch: execute a request against fetched metadata.
+//!
+//! [`execute`] is storage-agnostic — FLStore invokes it *inside* the
+//! function holding the data; the baselines invoke it on the aggregator VM
+//! after fetching the same values across the network. Identical inputs,
+//! identical outputs; only latency and cost differ.
+
+use std::error::Error;
+use std::fmt;
+
+use flstore_cloud::compute::WorkUnits;
+use flstore_fl::aggregate::AggregateModel;
+use flstore_fl::hyperparams::HyperParams;
+use flstore_fl::metadata::MetaValue;
+use flstore_fl::metrics::RoundMetrics;
+use flstore_fl::update::ModelUpdate;
+use flstore_sim::bytes::ByteSize;
+
+use crate::apps;
+use crate::outputs::WorkloadOutput;
+use crate::request::WorkloadRequest;
+use crate::taxonomy::WorkloadKind;
+
+/// Number of participants selected by scheduling workloads.
+pub const SCHEDULE_K: usize = 10;
+
+/// Failures while executing a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The fetched values did not contain the inputs the workload needs.
+    MissingInput {
+        /// Which workload.
+        kind: WorkloadKind,
+        /// What was missing.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::MissingInput { kind, what } => {
+                write!(f, "{kind} is missing required input: {what}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+/// Result of executing a workload: the typed output plus the compute demand
+/// and response size the serving system must account for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOutcome {
+    /// The computed result.
+    pub output: WorkloadOutput,
+    /// Compute demand of the execution.
+    pub work: WorkUnits,
+    /// Size of the response returned to the requester.
+    pub result_bytes: ByteSize,
+}
+
+struct SplitValues<'a> {
+    updates: Vec<&'a ModelUpdate>,
+    aggregates: Vec<&'a AggregateModel>,
+    metrics: Vec<&'a RoundMetrics>,
+    #[allow(dead_code)] // consumed by hyperparameter-tracking extensions
+    hypers: Vec<&'a HyperParams>,
+}
+
+fn split(values: &[MetaValue]) -> SplitValues<'_> {
+    let mut s = SplitValues {
+        updates: Vec::new(),
+        aggregates: Vec::new(),
+        metrics: Vec::new(),
+        hypers: Vec::new(),
+    };
+    for v in values {
+        match v {
+            MetaValue::Update(u) => s.updates.push(u),
+            MetaValue::Aggregate(a) => s.aggregates.push(a),
+            MetaValue::Metrics(m) => s.metrics.push(m),
+            MetaValue::Hyper(h) => s.hypers.push(h),
+        }
+    }
+    s.aggregates.sort_by_key(|a| a.round);
+    s.metrics.sort_by_key(|m| m.round);
+    s.hypers.sort_by_key(|h| h.round);
+    s
+}
+
+fn missing(kind: WorkloadKind, what: &'static str) -> WorkloadError {
+    WorkloadError::MissingInput { kind, what }
+}
+
+/// Executes `request` over the fetched `values`.
+///
+/// `model_scale` is the job model's compute scale
+/// ([`flstore_fl::zoo::ModelArch::compute_scale`]); randomized workloads
+/// derive their seed from the request id, so identical requests produce
+/// identical results.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::MissingInput`] when `values` lacks the inputs
+/// Table 1 prescribes for the workload class.
+pub fn execute(
+    request: &WorkloadRequest,
+    values: &[MetaValue],
+    model_scale: f64,
+) -> Result<WorkloadOutcome, WorkloadError> {
+    let kind = request.kind;
+    let seed = request.id.as_u64();
+    let s = split(values);
+
+    let round_aggregate = || {
+        s.aggregates
+            .iter()
+            .find(|a| a.round == request.round)
+            .or_else(|| s.aggregates.last())
+            .copied()
+    };
+
+    let output = match kind {
+        WorkloadKind::CosineSimilarity => {
+            let agg = round_aggregate().ok_or_else(|| missing(kind, "round aggregate"))?;
+            apps::cosine::run(&s.updates, agg)
+                .map(WorkloadOutput::Cosine)
+                .ok_or_else(|| missing(kind, "round updates"))?
+        }
+        WorkloadKind::MaliciousFiltering => apps::filtering::run(&s.updates)
+            .map(WorkloadOutput::Filtering)
+            .ok_or_else(|| missing(kind, "round updates"))?,
+        WorkloadKind::Clustering => {
+            apps::clustering::run(&s.updates, apps::clustering::DEFAULT_K, seed)
+                .map(WorkloadOutput::Clustering)
+                .ok_or_else(|| missing(kind, "round updates"))?
+        }
+        WorkloadKind::Personalized => {
+            apps::personalization::run(&s.updates, apps::clustering::DEFAULT_K, seed)
+                .map(WorkloadOutput::Personalization)
+                .ok_or_else(|| missing(kind, "round updates"))?
+        }
+        WorkloadKind::SchedulingCluster => apps::sched_cluster::run(&s.updates)
+            .map(WorkloadOutput::SchedCluster)
+            .ok_or_else(|| missing(kind, "round updates"))?,
+        WorkloadKind::Incentives => {
+            let agg = round_aggregate().ok_or_else(|| missing(kind, "round aggregate"))?;
+            apps::incentives::run(&s.updates, agg)
+                .map(WorkloadOutput::Incentives)
+                .ok_or_else(|| missing(kind, "round updates"))?
+        }
+        WorkloadKind::SchedulingPerf => apps::sched_perf::run(&s.metrics, SCHEDULE_K)
+            .map(WorkloadOutput::SchedPerf)
+            .ok_or_else(|| missing(kind, "round metrics window"))?,
+        WorkloadKind::ReputationCalc => {
+            let client = request.client.ok_or_else(|| missing(kind, "target client"))?;
+            apps::reputation::run(client, &s.updates, &s.aggregates)
+                .map(WorkloadOutput::Reputation)
+                .ok_or_else(|| missing(kind, "client updates across rounds"))?
+        }
+        WorkloadKind::Debugging => {
+            let client = request.client.ok_or_else(|| missing(kind, "target client"))?;
+            apps::debugging::run(client, &s.updates, &s.aggregates)
+                .map(WorkloadOutput::Debugging)
+                .ok_or_else(|| missing(kind, "client updates across rounds"))?
+        }
+        WorkloadKind::Inference => {
+            let agg = round_aggregate().ok_or_else(|| missing(kind, "aggregated model"))?;
+            apps::inference::run(agg, apps::inference::DEFAULT_BATCH, seed)
+                .map(WorkloadOutput::Inference)
+                .ok_or_else(|| missing(kind, "aggregated model"))?
+        }
+    };
+
+    let work = kind.work_units(values.len(), model_scale);
+    let result_bytes = output.result_bytes();
+    Ok(WorkloadOutcome {
+        output,
+        work,
+        result_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{JobCatalog, RequestId};
+    use crate::testutil::{lookup, sample_rounds};
+    use flstore_fl::ids::JobId;
+    use flstore_fl::zoo::ModelArch;
+
+    fn values_for(
+        kind: WorkloadKind,
+        records: &[flstore_fl::job::RoundRecord],
+    ) -> (WorkloadRequest, Vec<MetaValue>) {
+        let job = JobId::new(1);
+        let mut catalog = JobCatalog::new(job, ModelArch::RESNET18);
+        for r in records {
+            catalog.observe_round(r);
+        }
+        let last = records.last().expect("rounds");
+        let client = match kind.policy_class() {
+            crate::taxonomy::PolicyClass::P3AcrossRounds => Some(last.updates[0].client),
+            _ => None,
+        };
+        let request = WorkloadRequest::new(RequestId::new(7), kind, job, last.round, client);
+        let keys = catalog.data_needs(&request);
+        let values = keys
+            .iter()
+            .filter_map(|k| lookup(records, k))
+            .collect();
+        (request, values)
+    }
+
+    #[test]
+    fn every_workload_executes_end_to_end() {
+        let records = sample_rounds(12, 0.2);
+        for kind in WorkloadKind::ALL {
+            let (request, values) = values_for(kind, &records);
+            let outcome = execute(&request, &values, 1.0)
+                .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+            assert!(outcome.work.as_ref_seconds() > 0.0, "{kind} has zero work");
+            assert!(outcome.result_bytes > ByteSize::ZERO);
+        }
+    }
+
+    #[test]
+    fn outputs_match_requested_kind() {
+        let records = sample_rounds(12, 0.0);
+        let (req, vals) = values_for(WorkloadKind::Clustering, &records);
+        let out = execute(&req, &vals, 1.0).expect("ok");
+        assert!(matches!(out.output, WorkloadOutput::Clustering(_)));
+
+        let (req, vals) = values_for(WorkloadKind::SchedulingPerf, &records);
+        let out = execute(&req, &vals, 1.0).expect("ok");
+        assert!(matches!(out.output, WorkloadOutput::SchedPerf(_)));
+    }
+
+    #[test]
+    fn empty_values_error_cleanly() {
+        let records = sample_rounds(3, 0.0);
+        let (request, _) = values_for(WorkloadKind::MaliciousFiltering, &records);
+        let err = execute(&request, &[], 1.0).unwrap_err();
+        assert!(matches!(err, WorkloadError::MissingInput { .. }));
+        assert!(err.to_string().contains("Malicious Filtering"));
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let records = sample_rounds(10, 0.1);
+        let (request, values) = values_for(WorkloadKind::Clustering, &records);
+        let a = execute(&request, &values, 1.0).expect("ok");
+        let b = execute(&request, &values, 1.0).expect("ok");
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn work_scales_with_model() {
+        let records = sample_rounds(5, 0.0);
+        let (request, values) = values_for(WorkloadKind::MaliciousFiltering, &records);
+        let small = execute(&request, &values, 0.2).expect("ok");
+        let large = execute(&request, &values, 2.0).expect("ok");
+        assert!(large.work.as_ref_seconds() > small.work.as_ref_seconds());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based invariants for the workload kernels.
+
+use proptest::prelude::*;
+
+use flstore_fl::ids::{ClientId, JobId, Round};
+use flstore_fl::update::{ModelUpdate, UpdateMetrics};
+use flstore_fl::weights::WeightVector;
+use flstore_workloads::algorithms::{ewma, kmeans, median, robust_z_scores};
+use flstore_workloads::apps;
+
+fn update(client: u32, weights: Vec<f32>, loss: f64, time: f64, samples: u32) -> ModelUpdate {
+    ModelUpdate {
+        job: JobId::new(0),
+        client: ClientId::new(client),
+        round: Round::new(0),
+        weights: WeightVector::from_vec(weights),
+        metrics: UpdateMetrics {
+            local_loss: loss,
+            local_accuracy: (1.0 - loss / 4.0).clamp(0.0, 1.0),
+            train_time_s: time,
+            upload_time_s: 1.0,
+            num_samples: samples,
+            staleness: 0,
+        },
+        ground_truth_malicious: false,
+    }
+}
+
+fn round_updates() -> impl Strategy<Value = Vec<ModelUpdate>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-10.0f32..10.0, 8),
+            0.01f64..4.0,
+            1.0f64..100.0,
+            100u32..2000,
+        ),
+        2..12,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (w, loss, time, samples))| update(i as u32, w, loss, time, samples))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn kmeans_assigns_every_point_to_a_valid_cluster(
+        vectors in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 1..40),
+        k in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let owned: Vec<WeightVector> = vectors.into_iter().map(WeightVector::from_vec).collect();
+        let refs: Vec<&WeightVector> = owned.iter().collect();
+        let result = kmeans(&refs, k, 20, seed).expect("non-empty input");
+        prop_assert_eq!(result.assignments.len(), refs.len());
+        prop_assert!(result.centroids.len() <= k.min(refs.len()));
+        prop_assert!(result.assignments.iter().all(|a| *a < result.centroids.len()));
+        prop_assert!(result.inertia >= 0.0 && result.inertia.is_finite());
+    }
+
+    #[test]
+    fn median_lies_within_range(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = median(&values).expect("non-empty");
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn robust_z_scores_are_shift_invariant(
+        values in prop::collection::vec(-1e3f64..1e3, 3..50),
+        shift in -1e3f64..1e3,
+    ) {
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let a = robust_z_scores(&values);
+        let b = robust_z_scores(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ewma_stays_in_input_hull(history in prop::collection::vec(-100.0f64..100.0, 1..40),
+                                alpha in 0.01f64..1.0) {
+        let e = ewma(&history, alpha).expect("non-empty");
+        let lo = history.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+    }
+
+    #[test]
+    fn incentives_conserve_the_budget(updates in round_updates()) {
+        let refs: Vec<&ModelUpdate> = updates.iter().collect();
+        let agg = flstore_fl::aggregate::fedavg(JobId::new(0), Round::new(0), &updates)
+            .expect("non-empty");
+        let out = apps::incentives::run(&refs, &agg).expect("non-empty");
+        let total: f64 = out.payouts.iter().map(|(_, p)| *p).sum();
+        prop_assert!((total - out.budget).abs() < 1e-6, "distributed {total}");
+        prop_assert!(out.payouts.iter().all(|(_, p)| *p >= 0.0));
+        prop_assert_eq!(out.payouts.len(), refs.len());
+    }
+
+    #[test]
+    fn filtering_scores_every_client_once(updates in round_updates()) {
+        let refs: Vec<&ModelUpdate> = updates.iter().collect();
+        let out = apps::filtering::run(&refs).expect("non-empty");
+        prop_assert_eq!(out.scores.len(), refs.len());
+        prop_assert!(out.scores.iter().all(|(_, s)| s.is_finite()));
+        // Flagged clients are a subset of scored clients.
+        for c in &out.flagged {
+            prop_assert!(out.scores.iter().any(|(sc, _)| sc == c));
+        }
+    }
+
+    #[test]
+    fn tier_scheduling_partitions_participants(updates in round_updates()) {
+        let refs: Vec<&ModelUpdate> = updates.iter().collect();
+        let out = apps::sched_cluster::run(&refs).expect("non-empty");
+        prop_assert_eq!(out.tiers.len(), refs.len());
+        // Selected clients are exactly tier 0.
+        let tier0: Vec<_> = out
+            .tiers
+            .iter()
+            .filter(|(_, t)| *t == 0)
+            .map(|(c, _)| *c)
+            .collect();
+        prop_assert_eq!(&out.selected, &tier0);
+        prop_assert!(!out.selected.is_empty());
+    }
+
+    #[test]
+    fn cosine_output_is_bounded(updates in round_updates()) {
+        let refs: Vec<&ModelUpdate> = updates.iter().collect();
+        let agg = flstore_fl::aggregate::fedavg(JobId::new(0), Round::new(0), &updates)
+            .expect("non-empty");
+        let out = apps::cosine::run(&refs, &agg).expect("non-empty");
+        prop_assert!((-1.0..=1.0).contains(&out.mean));
+        prop_assert!((-1.0..=1.0).contains(&out.min));
+        prop_assert!(out.per_client.iter().all(|(_, s)| (-1.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn inference_scores_are_probabilities(updates in round_updates(), batch in 1usize..64, seed in 0u64..100) {
+        let agg = flstore_fl::aggregate::fedavg(JobId::new(0), Round::new(0), &updates)
+            .expect("non-empty");
+        let out = apps::inference::run(&agg, batch, seed).expect("non-empty");
+        prop_assert_eq!(out.batch, batch);
+        prop_assert!((0.0..=1.0).contains(&out.mean_score));
+    }
+}

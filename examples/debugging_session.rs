@@ -1,0 +1,102 @@
+//! FedDebug-style debugging session (the paper's P3 workload class).
+//!
+//! A client has been submitting suspicious updates. This session rewinds
+//! the client's history across rounds, computes its per-round influence on
+//! the aggregate, and shows how FLStore's tailored policy turns the second
+//! and later trace queries into pure cache hits.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example debugging_session
+//! ```
+
+use flstore_suite::fl::ids::JobId;
+use flstore_suite::fl::job::{FlJobConfig, FlJobSim};
+use flstore_suite::sim::time::{SimDuration, SimTime};
+use flstore_suite::store::policy::TailoredPolicy;
+use flstore_suite::store::store::{FlStore, FlStoreConfig};
+use flstore_suite::workloads::outputs::WorkloadOutput;
+use flstore_suite::workloads::request::{RequestId, WorkloadRequest};
+use flstore_suite::workloads::taxonomy::WorkloadKind;
+
+fn main() {
+    // A job with a heavy poisoning problem: 30% malicious clients.
+    let job = FlJobConfig {
+        rounds: 30,
+        total_clients: 20,
+        clients_per_round: 8,
+        malicious_fraction: 0.3,
+        ..FlJobConfig::quick_test(JobId::new(7))
+    };
+
+    let mut store = FlStore::new(
+        FlStoreConfig::for_model(&job.model),
+        Box::new(TailoredPolicy::new()),
+        job.job,
+        job.model,
+    );
+
+    let mut now = SimTime::ZERO;
+    let mut records = Vec::new();
+    for record in FlJobSim::new(job.clone()) {
+        store.ingest_round(now, &record);
+        records.push(record);
+        now += SimDuration::from_secs(90);
+    }
+
+    // Filter the last round to find a suspect.
+    let last = records.last().expect("job ran");
+    let filter = WorkloadRequest::new(
+        RequestId::new(1),
+        WorkloadKind::MaliciousFiltering,
+        job.job,
+        last.round,
+        None,
+    );
+    let served = store.serve(now, &filter).expect("servable");
+    let WorkloadOutput::Filtering(filtering) = &served.outcome.output else {
+        unreachable!("filtering request returns filtering output");
+    };
+    println!("round {}: flagged clients {:?}", last.round, filtering.flagged);
+
+    let Some(&suspect) = filtering.flagged.first() else {
+        println!("no suspect this round — rerun with another seed");
+        return;
+    };
+
+    // Rewind the suspect across rounds (P3: first query misses old rounds,
+    // the tailored policy then tracks the client).
+    for (i, label) in ["first trace (cold)", "second trace (tracked)"].iter().enumerate() {
+        let request = WorkloadRequest::new(
+            RequestId::new(10 + i as u64),
+            WorkloadKind::Debugging,
+            job.job,
+            last.round,
+            Some(suspect),
+        );
+        let served = store.serve(now, &request).expect("servable");
+        let WorkloadOutput::Debugging(trace) = &served.outcome.output else {
+            unreachable!("debugging request returns a trace");
+        };
+        println!(
+            "\n{label}: latency {}, hits {}, misses {}",
+            served.measured.latency.total(),
+            served.measured.cache_hits,
+            served.measured.cache_misses,
+        );
+        println!("  suspect {} diagnosed faulty: {}", suspect, trace.faulty);
+        for (round, influence) in &trace.per_round {
+            println!("  {round}: influence {influence:.3}");
+        }
+        now += SimDuration::from_secs(30);
+    }
+
+    // Ground truth check (tests do this too; here it is for the reader).
+    let truly_malicious = records
+        .iter()
+        .flat_map(|r| r.updates.iter())
+        .find(|u| u.client == suspect)
+        .map(|u| u.ground_truth_malicious)
+        .unwrap_or(false);
+    println!("\nground truth: {suspect} malicious = {truly_malicious}");
+}

@@ -1,0 +1,113 @@
+//! Post-training incentive audit.
+//!
+//! The paper's motivating pain point: incentive distribution and
+//! accountability run *after* training ends, so conventional frameworks
+//! must keep the aggregator and cache running. FLStore serves these
+//! requests from on-demand serverless functions instead.
+//!
+//! This audit distributes payouts for the final rounds, computes reputation
+//! traces for the top earners, and compares what a week of post-training
+//! audit availability costs on each architecture.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example incentive_audit
+//! ```
+
+use flstore_suite::baselines::agg::{AggregatorBaseline, AggregatorConfig};
+use flstore_suite::fl::ids::JobId;
+use flstore_suite::fl::job::{FlJobConfig, FlJobSim};
+use flstore_suite::sim::time::{SimDuration, SimTime};
+use flstore_suite::store::policy::TailoredPolicy;
+use flstore_suite::store::store::{FlStore, FlStoreConfig};
+use flstore_suite::workloads::outputs::WorkloadOutput;
+use flstore_suite::workloads::request::{RequestId, WorkloadRequest};
+use flstore_suite::workloads::taxonomy::WorkloadKind;
+
+fn main() {
+    let job = FlJobConfig {
+        rounds: 25,
+        total_clients: 30,
+        clients_per_round: 10,
+        ..FlJobConfig::quick_test(JobId::new(3))
+    };
+
+    let mut store = FlStore::new(
+        FlStoreConfig::for_model(&job.model),
+        Box::new(TailoredPolicy::new()),
+        job.job,
+        job.model,
+    );
+    let mut baseline = AggregatorBaseline::new(
+        AggregatorConfig::cache_agg(job.round_metadata_bytes() * u64::from(job.rounds)),
+        job.job,
+        job.model,
+        SimTime::ZERO,
+    );
+
+    let mut now = SimTime::ZERO;
+    let mut records = Vec::new();
+    for record in FlJobSim::new(job.clone()) {
+        store.ingest_round(now, &record);
+        baseline.ingest_round(now, &record);
+        records.push(record);
+        now += SimDuration::from_secs(60);
+    }
+    let training_done = now;
+    let last = records.last().expect("job ran");
+
+    // 1. Distribute the final round's incentives.
+    let incentives = WorkloadRequest::new(
+        RequestId::new(1),
+        WorkloadKind::Incentives,
+        job.job,
+        last.round,
+        None,
+    );
+    let served = store.serve(now, &incentives).expect("servable");
+    let WorkloadOutput::Incentives(payouts) = &served.outcome.output else {
+        unreachable!("incentives request returns payouts");
+    };
+    let mut ranked = payouts.payouts.clone();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("payouts are finite"));
+    println!("final-round payouts (budget {} credits):", payouts.budget);
+    for (client, credit) in ranked.iter().take(5) {
+        println!("  {client}: {credit:.2} credits");
+    }
+
+    // 2. Reputation trace for the top earner (a P3 audit days later).
+    now += SimDuration::from_hours(24);
+    let top = ranked[0].0;
+    let reputation = WorkloadRequest::new(
+        RequestId::new(2),
+        WorkloadKind::ReputationCalc,
+        job.job,
+        last.round,
+        Some(top),
+    );
+    let served = store.serve(now, &reputation).expect("servable");
+    let WorkloadOutput::Reputation(rep) = &served.outcome.output else {
+        unreachable!("reputation request returns a trace");
+    };
+    println!(
+        "\n{top} reputation {:.3} over {} audited rounds (request latency {})",
+        rep.reputation,
+        rep.history.len(),
+        served.measured.latency.total()
+    );
+
+    // 3. What does a week of audit availability cost?
+    let week_later = training_done + SimDuration::from_hours(168);
+    let fl_cost = store.total_cost(week_later);
+    let base_cost = baseline.total_cost(week_later);
+    println!("\ncost of one week of post-training audit availability:");
+    println!("  FLStore   : {}", fl_cost.total());
+    println!("  Cache-Agg : {} (aggregator + cache cluster stay up)", base_cost.total());
+    println!(
+        "  reduction : {:.1}%",
+        flstore_suite::sim::stats::reduction_pct(
+            base_cost.total().as_dollars(),
+            fl_cost.total().as_dollars()
+        )
+    );
+}

@@ -1,0 +1,83 @@
+//! Quickstart: stand up FLStore next to a small FL job, serve one request
+//! of every workload, and compare against the conventional
+//! aggregator-plus-object-store architecture.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flstore_suite::baselines::agg::{AggregatorBaseline, AggregatorConfig};
+use flstore_suite::fl::ids::JobId;
+use flstore_suite::fl::job::{FlJobConfig, FlJobSim};
+use flstore_suite::sim::time::{SimDuration, SimTime};
+use flstore_suite::store::policy::TailoredPolicy;
+use flstore_suite::store::store::{FlStore, FlStoreConfig};
+use flstore_suite::workloads::request::{RequestId, WorkloadRequest};
+use flstore_suite::workloads::taxonomy::{PolicyClass, WorkloadKind};
+
+fn main() {
+    // A small cross-device job: 20 clients, 5 per round, ResNet-18.
+    let job = FlJobConfig {
+        rounds: 20,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    };
+    println!(
+        "job: {} | model {} ({:.1} MB) | {} clients, {}/round, {} rounds\n",
+        job.job, job.model.name, job.model.size_mb, job.total_clients, job.clients_per_round, job.rounds
+    );
+
+    // FLStore and the ObjStore-Agg baseline ingest the same rounds.
+    let mut store = FlStore::new(
+        FlStoreConfig::for_model(&job.model),
+        Box::new(TailoredPolicy::new()),
+        job.job,
+        job.model,
+    );
+    let mut baseline =
+        AggregatorBaseline::new(AggregatorConfig::objstore_agg(), job.job, job.model, SimTime::ZERO);
+
+    let mut now = SimTime::ZERO;
+    let mut last_record = None;
+    for record in FlJobSim::new(job.clone()) {
+        store.ingest_round(now, &record);
+        baseline.ingest_round(now, &record);
+        last_record = Some(record);
+        now += SimDuration::from_secs(120);
+    }
+    let last = last_record.expect("job ran");
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "FLStore lat", "ObjStore lat", "FLStore $", "ObjStore $"
+    );
+    let mut id = 0u64;
+    let mut now = now;
+    for kind in WorkloadKind::ALL {
+        id += 1;
+        now += SimDuration::from_secs(60); // dashboard cadence
+        let client = match kind.policy_class() {
+            PolicyClass::P3AcrossRounds => Some(last.updates[0].client),
+            _ => None,
+        };
+        let request = WorkloadRequest::new(RequestId::new(id), kind, job.job, last.round, client);
+        let fl = store.serve(now, &request).expect("FLStore serves");
+        let (_, base) = baseline.serve(now, &request).expect("baseline serves");
+        println!(
+            "{:<22} {:>14} {:>14} {:>12} {:>12}",
+            kind.label(),
+            format!("{}", fl.measured.latency.total()),
+            format!("{}", base.latency.total()),
+            format!("{}", fl.measured.cost.total()),
+            format!("{}", base.cost.total()),
+        );
+    }
+
+    println!(
+        "\nFLStore hit rate: {:.1}% over {} requests ({} objects cached on {} functions)",
+        store.ledger().hit_rate() * 100.0,
+        store.ledger().len(),
+        store.engine().len(),
+        store.platform().instance_count(),
+    );
+}

@@ -1,0 +1,68 @@
+//! # flstore-suite — the FLStore reproduction, under one roof
+//!
+//! A Rust reproduction of *FLStore: Efficient Federated Learning Storage
+//! for non-training workloads* (MLSys 2025): a serverless framework that
+//! unifies the data and compute planes for FL's non-training workloads —
+//! scheduling, personalization, clustering, debugging, incentivization,
+//! reputation, filtering, similarity analysis, and inference.
+//!
+//! This facade re-exports every workspace crate under a stable module path:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sim`] | `flstore-sim` | virtual clock, RNG, queueing, accounting |
+//! | [`cloud`] | `flstore-cloud` | object store, memcache, VMs, pricing |
+//! | [`serverless`] | `flstore-serverless` | function platform simulator |
+//! | [`fl`] | `flstore-fl` | model zoo, job simulator, metadata |
+//! | [`workloads`] | `flstore-workloads` | Table-1 taxonomy + 10 workloads |
+//! | [`store`] | `flstore-core` | FLStore: engine, tracker, policies |
+//! | [`baselines`] | `flstore-baselines` | ObjStore-Agg, Cache-Agg |
+//! | [`trace`] | `flstore-trace` | traces, drivers, scenarios |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flstore_suite::fl::ids::JobId;
+//! use flstore_suite::fl::job::{FlJobConfig, FlJobSim};
+//! use flstore_suite::sim::time::{SimDuration, SimTime};
+//! use flstore_suite::store::policy::TailoredPolicy;
+//! use flstore_suite::store::store::{FlStore, FlStoreConfig};
+//! use flstore_suite::workloads::request::{RequestId, WorkloadRequest};
+//! use flstore_suite::workloads::taxonomy::WorkloadKind;
+//!
+//! let cfg = FlJobConfig::quick_test(JobId::new(1));
+//! let mut store = FlStore::new(
+//!     FlStoreConfig::for_model(&cfg.model),
+//!     Box::new(TailoredPolicy::new()),
+//!     cfg.job,
+//!     cfg.model,
+//! );
+//! let mut now = SimTime::ZERO;
+//! let mut last = None;
+//! for record in FlJobSim::new(cfg.clone()) {
+//!     store.ingest_round(now, &record);
+//!     last = Some(record.round);
+//!     now += SimDuration::from_secs(60);
+//! }
+//! let request = WorkloadRequest::new(
+//!     RequestId::new(1),
+//!     WorkloadKind::Inference,
+//!     cfg.job,
+//!     last.unwrap(),
+//!     None,
+//! );
+//! let served = store.serve(now, &request).expect("cached aggregate");
+//! assert_eq!(served.measured.cache_misses, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use flstore_baselines as baselines;
+pub use flstore_cloud as cloud;
+pub use flstore_core as store;
+pub use flstore_fl as fl;
+pub use flstore_serverless as serverless;
+pub use flstore_sim as sim;
+pub use flstore_trace as trace;
+pub use flstore_workloads as workloads;

@@ -1,0 +1,115 @@
+//! Fault-tolerance behaviour (paper §4.5, Figs. 13–14): replicas absorb
+//! function reclamations; without them FLStore re-fetches from the
+//! persistent store — correct but slow.
+
+use flstore_suite::fl::ids::JobId;
+use flstore_suite::fl::job::FlJobConfig;
+use flstore_suite::serverless::platform::ReclaimModel;
+use flstore_suite::trace::driver::{drive, DriveReport, TraceConfig};
+use flstore_suite::trace::scenario::flstore_with_faults;
+
+fn job() -> FlJobConfig {
+    FlJobConfig {
+        rounds: 20,
+        total_clients: 20,
+        clients_per_round: 8,
+        ..FlJobConfig::quick_test(JobId::new(3))
+    }
+}
+
+fn run_with_replicas(replicas: usize) -> DriveReport {
+    let job = job();
+    // Aggressive reclamation: sandboxes die within tens of minutes.
+    let reclaim = ReclaimModel {
+        enabled: true,
+        min_lifetime_hours: 0.1,
+        alpha: 1.5,
+    };
+    let mut store = flstore_with_faults(&job, replicas, reclaim, 31);
+    let trace = TraceConfig {
+        requests: 50,
+        window: flstore_suite::sim::time::SimDuration::from_hours(10),
+        ..TraceConfig::smoke(17)
+    };
+    drive(&mut store, &job, &trace)
+}
+
+#[test]
+fn faults_actually_fire() {
+    let job = job();
+    let reclaim = ReclaimModel {
+        enabled: true,
+        min_lifetime_hours: 0.1,
+        alpha: 1.5,
+    };
+    let mut store = flstore_with_faults(&job, 1, reclaim, 31);
+    let trace = TraceConfig {
+        requests: 50,
+        window: flstore_suite::sim::time::SimDuration::from_hours(10),
+        ..TraceConfig::smoke(17)
+    };
+    let _ = drive(&mut store, &job, &trace);
+    assert!(store.faults_observed() > 0, "fault injection must reclaim sandboxes");
+}
+
+#[test]
+fn replicas_reduce_misses_under_faults() {
+    let fi1 = run_with_replicas(1);
+    let fi3 = run_with_replicas(3);
+    assert!(!fi1.outcomes.is_empty() && !fi3.outcomes.is_empty());
+    let misses = |r: &DriveReport| -> u64 { r.outcomes.iter().map(|o| o.cache_misses as u64).sum() };
+    assert!(
+        misses(&fi3) <= misses(&fi1),
+        "3 replicas should not miss more than 1: {} vs {}",
+        misses(&fi3),
+        misses(&fi1)
+    );
+    // Latency with replicas is no worse on average (paper Fig. 13 shows a
+    // plateau from FI=3).
+    let lat1 = fi1.latency_summary().expect("served").mean;
+    let lat3 = fi3.latency_summary().expect("served").mean;
+    assert!(
+        lat3 <= lat1 * 1.05,
+        "FI=3 mean latency {lat3:.2}s vs FI=1 {lat1:.2}s"
+    );
+}
+
+#[test]
+fn replication_cost_is_negligible_vs_refetch_penalty() {
+    let fi1 = run_with_replicas(1);
+    let fi5 = run_with_replicas(5);
+    // Replication adds keep-alive + repair spend...
+    let infra1 = fi1.infra_cost.as_dollars();
+    let infra5 = fi5.infra_cost.as_dollars();
+    assert!(infra5 >= infra1);
+    // ...but stays tiny in absolute terms (paper: $0.003 for 5 replicas over
+    // 50 h) and far below the re-fetch transfer spend it avoids.
+    assert!(infra5 < 0.05, "replication infra cost {infra5}");
+    let refetch_transfer_1: f64 = fi1
+        .outcomes
+        .iter()
+        .map(|o| o.cost.transfer.as_dollars())
+        .sum();
+    let refetch_transfer_5: f64 = fi5
+        .outcomes
+        .iter()
+        .map(|o| o.cost.transfer.as_dollars())
+        .sum();
+    assert!(
+        refetch_transfer_5 <= refetch_transfer_1,
+        "replicas should cut re-fetch transfer: {refetch_transfer_5} vs {refetch_transfer_1}"
+    );
+}
+
+#[test]
+fn no_faults_without_injection() {
+    let job = job();
+    let mut store = flstore_with_faults(&job, 1, ReclaimModel::DISABLED, 31);
+    let trace = TraceConfig {
+        requests: 30,
+        ..TraceConfig::smoke(19)
+    };
+    let report = drive(&mut store, &job, &trace);
+    assert_eq!(store.faults_observed(), 0);
+    assert!(report.outcomes.iter().all(|o| !o.recovered_from_fault));
+}

@@ -1,0 +1,71 @@
+//! Scalability under parallel requests (paper §A.1, Fig. 12): with 5 cached
+//! function instances, latency stays flat up to 5 simultaneous requests and
+//! rises once the burst exceeds the replica count.
+
+use flstore_suite::fl::ids::JobId;
+use flstore_suite::fl::job::{FlJobConfig, FlJobSim};
+use flstore_suite::serverless::platform::ReclaimModel;
+use flstore_suite::sim::time::{SimDuration, SimTime};
+use flstore_suite::trace::scenario::flstore_with_faults;
+use flstore_suite::workloads::request::{RequestId, WorkloadRequest};
+use flstore_suite::workloads::taxonomy::WorkloadKind;
+
+/// Mean latency of `k` simultaneous Clustering requests against a store
+/// with 5 replica rings.
+fn burst_mean_latency(k: usize) -> f64 {
+    let job = FlJobConfig {
+        rounds: 6,
+        total_clients: 20,
+        clients_per_round: 8,
+        ..FlJobConfig::quick_test(JobId::new(4))
+    };
+    let mut store = flstore_with_faults(&job, 5, ReclaimModel::DISABLED, 7);
+    let mut now = SimTime::ZERO;
+    let mut last = None;
+    for record in FlJobSim::new(job.clone()) {
+        store.ingest_round(now, &record);
+        last = Some(record.round);
+        now += SimDuration::from_secs(60);
+    }
+    let round = last.expect("job ran");
+    let mut total = 0.0;
+    for i in 0..k {
+        let request = WorkloadRequest::new(
+            RequestId::new(i as u64 + 1),
+            WorkloadKind::Clustering,
+            job.job,
+            round,
+            None,
+        );
+        let served = store.serve(now, &request).expect("servable");
+        total += served.measured.latency.total().as_secs_f64();
+    }
+    total / k as f64
+}
+
+#[test]
+fn latency_flat_up_to_replica_count() {
+    let one = burst_mean_latency(1);
+    let five = burst_mean_latency(5);
+    assert!(
+        five < one * 1.6,
+        "5 parallel requests on 5 replicas should stay near flat: {one:.2}s -> {five:.2}s"
+    );
+}
+
+#[test]
+fn latency_rises_past_replica_count() {
+    let five = burst_mean_latency(5);
+    let ten = burst_mean_latency(10);
+    assert!(
+        ten > five * 1.2,
+        "10 parallel requests on 5 replicas must queue: {five:.2}s -> {ten:.2}s"
+    );
+}
+
+#[test]
+fn single_request_latency_is_compute_scale() {
+    let one = burst_mean_latency(1);
+    // Clustering of 8 ResNet18-scale updates ≈ a few seconds of compute.
+    assert!(one < 10.0, "single-request latency {one:.2}s");
+}
