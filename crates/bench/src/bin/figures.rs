@@ -2,7 +2,9 @@
 
 use flstore_bench::{breakdown, headline, inventory, jobs, motivation, policies, robustness, Scale};
 
-const EXPERIMENTS: &[(&str, fn(Scale) -> serde_json::Value)] = &[
+type Experiment = fn(Scale) -> serde_json::Value;
+
+const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("fig1", motivation::fig1_fig2_fig10),
     ("fig4", breakdown::fig4),
     ("fig7", headline::fig7_fig8),

@@ -49,7 +49,7 @@ pub fn fig19(_scale: Scale) -> Value {
 /// Table 1: the workload taxonomy and policy mapping.
 pub fn table1(_scale: Scale) -> Value {
     header("Table 1 — taxonomy of non-training workloads and policy mapping");
-    println!("{:<6} {:<28} {}", "class", "data need", "workloads");
+    println!("{:<6} {:<28} workloads", "class", "data need");
     let classes = [
         (
             flstore_workloads::taxonomy::PolicyClass::P1IndividualOrAggregate,

@@ -4,7 +4,7 @@
 //! deploys SageMaker ml.m5.4xlarge). The instance bills per hour whether
 //! serving requests or idle — the structural cost FLStore avoids.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::Cost;
@@ -15,7 +15,10 @@ use crate::compute::{ComputeProfile, WorkUnits};
 use crate::pricing::VmPricing;
 
 /// A VM instance type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Only serializable: the `&'static str` name cannot be deserialized from
+/// owned JSON text, and the catalog of types is baked into the binary anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct VmType {
     /// Marketing name.
     pub name: &'static str,

@@ -81,7 +81,7 @@ impl MultiTenantStore {
         }
         let mut cfg = self.template.clone();
         // Decorrelate platform randomness across tenants.
-        cfg.seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(job.as_u32()) + 1));
+        cfg.seed ^= 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(job.as_u32()) + 1);
         // Function sizing follows each tenant's model, as in single-tenant
         // deployments.
         cfg.function_config = FlStoreConfig::for_model(&model).function_config;

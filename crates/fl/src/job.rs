@@ -313,9 +313,7 @@ impl FlJobSim {
         if completed.is_empty() {
             // A round always produces at least one update (the aggregator
             // waits for stragglers in the limit).
-            if let Some(first) = selected.first().copied().or_else(|| Some(0)) {
-                completed.push(first);
-            }
+            completed.push(selected.first().copied().unwrap_or(0));
         }
 
         let updates: Vec<ModelUpdate> = completed

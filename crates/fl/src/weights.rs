@@ -206,7 +206,7 @@ impl WeightVector {
     ///
     /// Returns `None` if the byte length is not a multiple of 4.
     pub fn from_bytes(bytes: &[u8]) -> Option<WeightVector> {
-        if bytes.len() % 4 != 0 {
+        if !bytes.len().is_multiple_of(4) {
             return None;
         }
         let values = bytes

@@ -46,7 +46,7 @@ proptest! {
     #[test]
     fn billing_is_monotone_in_work(seed in 0u64..500, a in 1u64..100, b in 1u64..100) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let mut run = |work: u64| {
+        let run = |work: u64| {
             let mut platform = quiet(seed);
             let id = platform.spawn(SimTime::ZERO, FunctionConfig::LARGE);
             platform

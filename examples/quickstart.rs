@@ -52,7 +52,6 @@ fn main() {
         "workload", "FLStore lat", "ObjStore lat", "FLStore $", "ObjStore $"
     );
     let mut id = 0u64;
-    let mut now = now;
     for kind in WorkloadKind::ALL {
         id += 1;
         now += SimDuration::from_secs(60); // dashboard cadence

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the FLStore reproduction workspace.
+#
+# Usage: scripts/verify.sh
+#
+# Runs, in order:
+#   1. cargo build --release        (whole workspace, via default-members)
+#   2. cargo test -q                (unit + property + integration + doctests)
+#   3. cargo build --benches        (Criterion benches compile; not executed)
+#   4. cargo clippy --all-targets   (NON-BLOCKING: reported, never fails the run)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+set -e
+run cargo build --release
+run cargo test -q
+run cargo build --benches
+set +e
+
+echo
+echo "==> cargo clippy -q --all-targets (non-blocking)"
+if cargo clippy -q --all-targets 2>&1 | tail -n 40; then
+    echo "clippy: clean (or warnings above)"
+else
+    echo "clippy: reported issues above (non-blocking)"
+fi
+
+echo
+echo "verify: OK"

@@ -1,0 +1,362 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the `proptest!` macro, the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, numeric range strategies, tuple strategies, and
+//! `prop::collection::vec`. Each test runs `PROPTEST_CASES` random cases
+//! (default 64) from a deterministic per-test seed. Unlike real proptest
+//! there is no shrinking and inputs are not echoed on failure; instead the
+//! failing case index is reported, and since sampling is deterministic per
+//! test name, re-running the test replays the identical sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of cases per property, from `PROPTEST_CASES` (default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn u01(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Uniform usize in [0, n).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples");
+    }
+}
+
+/// A strategy producing one fixed value (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Acceptable length specs for [`vec`]: a fixed length or a range.
+    pub trait IntoSizeRange {
+        /// Lower and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec size range");
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.max - self.min == 1 {
+                self.min
+            } else {
+                self.min + rng.below(self.max - self.min)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Prints which case failed when a property panics (no shrinking here, but
+/// the deterministic per-test seed makes any case index reproducible).
+#[doc(hidden)]
+pub struct CaseReporter {
+    /// Property (test function) name.
+    pub name: &'static str,
+    /// Zero-based case index currently executing.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stand-in: property `{}` failed on case {} \
+                 (deterministic per-name seed; re-running replays it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+/// Runs each `#[test] fn name(bindings in strategies) { body }` item as a
+/// sampled property.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..__cases {
+                    let __reporter = $crate::CaseReporter {
+                        name: stringify!($name),
+                        case: __case,
+                    };
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                    drop(__reporter);
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy, TestRng,
+    };
+
+    /// Mirror of the `prop` module alias in real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u64..100, v in prop::collection::vec(0u32..10, 2..8)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|e| *e < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0i32..5, 0i32..5).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn flat_map_links_dimensions(v in (1usize..6).prop_flat_map(|n| prop::collection::vec(0u8..=255, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unavailable in this build environment, so
+//! this crate provides the subset the workspace relies on with compatible
+//! surface syntax: `#[derive(Serialize, Deserialize)]`, the `Serialize` /
+//! `Deserialize` traits, and the `#[serde(skip, default)]` field attribute.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! concrete JSON value model ([`Value`]) defined here and re-exported by the
+//! sibling `serde_json` stand-in. That is sufficient because the only data
+//! format the workspace uses is JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+pub mod json;
+
+pub use json::{Error, Map, Number, Value};
+
+/// A type that can be converted into the JSON [`Value`] model.
+///
+/// Derivable via `#[derive(Serialize)]`. Structs with named fields become
+/// objects, newtype structs are transparent, unit enum variants become
+/// strings, and newtype enum variants become single-key objects — matching
+/// real serde's externally-tagged JSON representation.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON [`Value`] model.
+///
+/// Derivable via `#[derive(Deserialize)]`.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}

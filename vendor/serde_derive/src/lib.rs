@@ -1,0 +1,421 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually uses:
+//!
+//! * structs with named fields (with the `#[serde(skip)]` / `#[serde(default)]`
+//!   field attributes),
+//! * tuple structs (single-field newtypes are transparent, wider tuples
+//!   become arrays),
+//! * unit structs,
+//! * enums whose variants are unit or newtype (externally tagged, like
+//!   real serde: `"Variant"` / `{"Variant": value}`).
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: identifier plus the serde attrs we honor.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// One enum variant: identifier plus whether it carries a single payload.
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Extracts `skip` / `default` flags from one `#[serde(...)]` attribute body.
+fn scan_serde_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
+    let mut tokens = group.stream().into_iter();
+    if let Some(TokenTree::Ident(ident)) = tokens.next() {
+        if ident.to_string() != "serde" {
+            return;
+        }
+        if let Some(TokenTree::Group(args)) = tokens.next() {
+            for tt in args.stream() {
+                if let TokenTree::Ident(flag) = tt {
+                    match flag.to_string().as_str() {
+                        "skip" => *skip = true,
+                        "default" => *default = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parses the top of the item: attributes, visibility, `struct`/`enum`, name.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Possible `pub(crate)` style restriction.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    _ => return Err(format!("unexpected token `{word}`")),
+                }
+            }
+            other => return Err(format!("unexpected token {other:?}")),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the offline serde derive"));
+        }
+    }
+
+    let shape = if keyword == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unexpected struct body {other:?}")),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body {other:?}")),
+        }
+    };
+
+    Ok(Item { name, shape })
+}
+
+/// Parses `name: Type, ...` fields, honoring `#[serde(skip/default)]`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+
+    'fields: loop {
+        let mut skip = false;
+        let mut default = false;
+
+        // Attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        scan_serde_attr(&g, &mut skip, &mut default);
+                    }
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => return Err(format!("unexpected field token {other:?}")),
+            }
+        };
+
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+
+        // Skip the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+
+        fields.push(Field { name, skip, default });
+    }
+
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants; only unit and single-payload (newtype) supported.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+
+    'variants: loop {
+        // Attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                None => break 'variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => return Err(format!("unexpected variant token {other:?}")),
+            }
+        };
+
+        let mut newtype = false;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only unit and single-field variants are supported"
+                    ));
+                }
+                newtype = true;
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!("variant `{name}`: struct variants are not supported"));
+            }
+            _ => {}
+        }
+
+        // Trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+
+        variants.push(Variant { name, newtype });
+    }
+
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &item.name;
+
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "__map.insert(::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_value(&self.{}));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let mut __map = ::serde::Map::new();\n{inserts}::serde::Value::Object(__map)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{v} (__inner) => {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         __map.insert(::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(__inner));\n\
+                         ::serde::Value::Object(__map)\n}}\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &item.name;
+
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip || f.default {
+                    // `skip` implies reconstruction from Default, and plain
+                    // `default` tolerates a missing key the same way.
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: match __obj.get({n:?}) {{\n\
+                             Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                             None => ::std::default::Default::default(),\n}},\n",
+                            n = f.name
+                        ));
+                    }
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(\
+                         __obj.get({n:?}).unwrap_or(&::serde::Value::Null))?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         __arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    newtype_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant of {name}\")),\n}};\n}}\n\
+                 if let Some(__obj) = __value.as_object() {{\n\
+                 if let Some((__tag, __inner)) = __obj.iter().next() {{\n\
+                 return match __tag.as_str() {{\n{newtype_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant of {name}\")),\n}};\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected {name} variant\"))"
+            )
+        }
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

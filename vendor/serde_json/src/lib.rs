@@ -1,0 +1,159 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the value model from the `serde` stand-in and adds the JSON
+//! text layer: `to_vec` / `to_string` / `to_string_pretty`, `from_slice` /
+//! `from_str`, and the `json!` macro.
+
+pub use serde::json::{Error, Map, Number, Value};
+
+mod parse;
+mod print;
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(print::compact(&value.to_value()).into_bytes())
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes to a human-readable JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::custom(e.to_string()))?;
+    from_str(text)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports the forms this workspace uses: object literals with string-literal
+/// keys, array literals, `null` / `true` / `false`, and arbitrary serializable
+/// expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            #[allow(unused_mut)]
+            let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_elems!(__arr ( $($tt)* ));
+            $crate::Value::Array(__arr)
+        }
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::json_entries!(__map ( $($tt)* ));
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munches `key: value` object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident ()) => {};
+    ($map:ident ($key:literal : null $(, $($rest:tt)*)?)) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $( $crate::json_entries!($map ($($rest)*)); )?
+    };
+    ($map:ident ($key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $( $crate::json_entries!($map ($($rest)*)); )?
+    };
+    ($map:ident ($key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $( $crate::json_entries!($map ($($rest)*)); )?
+    };
+    ($map:ident ($key:literal : $val:expr , $($rest:tt)*)) => {
+        $map.insert(::std::string::String::from($key), $crate::to_value(&$val));
+        $crate::json_entries!($map ($($rest)*));
+    };
+    ($map:ident ($key:literal : $val:expr)) => {
+        $map.insert(::std::string::String::from($key), $crate::to_value(&$val));
+    };
+}
+
+/// Internal: munches array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ($arr:ident ()) => {};
+    ($arr:ident (null $(, $($rest:tt)*)?)) => {
+        $arr.push($crate::Value::Null);
+        $( $crate::json_elems!($arr ($($rest)*)); )?
+    };
+    ($arr:ident ({ $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $( $crate::json_elems!($arr ($($rest)*)); )?
+    };
+    ($arr:ident ([ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_elems!($arr ($($rest)*)); )?
+    };
+    ($arr:ident ($val:expr , $($rest:tt)*)) => {
+        $arr.push($crate::to_value(&$val));
+        $crate::json_elems!($arr ($($rest)*));
+    };
+    ($arr:ident ($val:expr)) => {
+        $arr.push($crate::to_value(&$val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let rows = vec![1u64, 2, 3];
+        let v = json!({
+            "name": "fig7",
+            "nested": { "mean": 1.5, "flag": true },
+            "rows": rows,
+            "list": [1, { "x": null }],
+        });
+        assert_eq!(v["name"].as_str(), Some("fig7"));
+        assert_eq!(v["nested"]["mean"].as_f64(), Some(1.5));
+        assert_eq!(v["rows"][2].as_u64(), Some(3));
+        assert!(v["list"][1]["x"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({ "a": [1, 2.5, "s\"tr", false, null], "b": { "c": -3 } });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: Value = from_str(r#"{"k": "a\n\tA\\"}"#).unwrap();
+        assert_eq!(v["k"].as_str(), Some("a\n\tA\\"));
+    }
+}
