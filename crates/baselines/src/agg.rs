@@ -15,9 +15,10 @@ use flstore_cloud::blob::Blob;
 use flstore_cloud::memcache::{MemCache, MemCacheConfig};
 use flstore_cloud::objstore::{ObjectStore, ObjectStoreConfig};
 use flstore_cloud::vm::{VmInstance, VmType};
+use flstore_fl::decoded::{DecodedCache, DecodedStats};
 use flstore_fl::ids::JobId;
 use flstore_fl::job::RoundRecord;
-use flstore_fl::metadata::{round_blobs, MetaValue};
+use flstore_fl::metadata::{round_entries, SharedValue};
 use flstore_fl::zoo::ModelArch;
 use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::{Cost, CostBreakdown};
@@ -124,6 +125,12 @@ pub struct AggregatorBaseline {
     vm: VmInstance,
     objstore: ObjectStore,
     cache: Option<MemCache>,
+    /// One decoded handle per ingested object — bounded by the same set
+    /// `objstore` retains for the experiment's lifetime, so the layer
+    /// tracks (not outgrows) existing memory behaviour. Entries survive
+    /// memcache eviction on purpose: the backing-store refetch returns
+    /// the identical payload bytes, so the old decode stays valid.
+    decoded: DecodedCache,
     catalog: JobCatalog,
     ledger: ServiceLedger,
     launched: SimTime,
@@ -145,6 +152,7 @@ impl AggregatorBaseline {
             vm: VmInstance::launch(cfg.vm, now, cfg.worker_slots.max(1)),
             objstore: ObjectStore::new(cfg.objstore),
             cache,
+            decoded: DecodedCache::new(),
             catalog: JobCatalog::new(job, model),
             ledger: ServiceLedger::new(),
             launched: now,
@@ -177,6 +185,12 @@ impl AggregatorBaseline {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// Decoded-value layer statistics: how often the aggregator re-parsed
+    /// blobs vs. reused a shared decoded handle.
+    pub fn decoded_stats(&self) -> DecodedStats {
+        self.decoded.stats()
+    }
+
     /// Always-on infrastructure cost from launch to `now`: the aggregator
     /// instance plus (for Cache-Agg) the cache cluster node-hours.
     pub fn infra_cost(&self, now: SimTime) -> Cost {
@@ -200,13 +214,16 @@ impl AggregatorBaseline {
     /// Cache-Agg, written through to the backing object store).
     pub fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
         self.catalog.observe_round(record);
-        let items = round_blobs(record, self.catalog.job(), self.catalog.model());
-        for (key, blob) in items {
-            let okey = key.object_key();
-            let cost = self.objstore.put_async(now, okey.clone(), blob.clone());
+        let items = round_entries(record, self.catalog.job(), self.catalog.model());
+        for e in items {
+            let okey = e.key.object_key();
+            let cost = self.objstore.put_async(now, okey.clone(), e.blob.clone());
             self.ledger.background_cost += cost;
+            // The producer holds the decoded value: seed the decoded layer
+            // so serving never re-parses bytes it already understood.
+            self.decoded.seed(e.key, &e.blob, e.value);
             if let Some(cache) = &mut self.cache {
-                cache.set(now, okey, blob);
+                cache.set(now, okey, e.blob);
             }
         }
     }
@@ -278,8 +295,14 @@ impl AggregatorBaseline {
             }
         }
 
-        // Decode and execute on the VM.
-        let values: Vec<MetaValue> = blobs.iter().filter_map(MetaValue::from_blob).collect();
+        // Decode (at most once per object lifetime) and execute on the VM.
+        // The decoded layer validates byte identity: a blob overwritten in
+        // the data plane re-decodes, an unchanged one is an `Arc` clone.
+        let values: Vec<SharedValue> = needs
+            .iter()
+            .zip(&blobs)
+            .filter_map(|(key, blob)| self.decoded.get_or_decode(key, blob))
+            .collect();
         let outcome = execute(request, &values, self.catalog.model().compute_scale())?;
         let fetch_done = now + latency.routing + latency.communication;
         let assignment = self.vm.execute(fetch_done, outcome.work);
@@ -288,9 +311,7 @@ impl AggregatorBaseline {
         latency.computation += service;
         // The VM is occupied for the whole fetch + compute span of this
         // request; that instance time is the request's compute bill.
-        cost.compute += self
-            .vm
-            .busy_cost_of(latency.communication + service);
+        cost.compute += self.vm.busy_cost_of(latency.communication + service);
 
         // PUT phase: store the result back in the data plane (paper Fig. 3
         // step 3).
@@ -341,9 +362,9 @@ mod tests {
         };
         let cfg = match data_plane {
             DataPlaneKind::ObjectStore => AggregatorConfig::objstore_agg(),
-            DataPlaneKind::MemCache => AggregatorConfig::cache_agg(
-                job_cfg.round_metadata_bytes() * rounds as u64,
-            ),
+            DataPlaneKind::MemCache => {
+                AggregatorConfig::cache_agg(job_cfg.round_metadata_bytes() * rounds as u64)
+            }
         };
         let mut agg = AggregatorBaseline::new(cfg, job_cfg.job, job_cfg.model, SimTime::ZERO);
         let records: Vec<RoundRecord> = FlJobSim::new(job_cfg).collect();
@@ -408,6 +429,29 @@ mod tests {
         );
         let total = mem.agg.total_cost(end);
         assert!(total.infra >= infra);
+    }
+
+    #[test]
+    fn serving_never_reparses_ingested_metadata() {
+        // Both data planes serve the bytes ingest wrote, so the decoded
+        // layer (seeded at ingest) satisfies every request with `Arc`
+        // clones: zero parses, however often the same data is served.
+        for plane in [DataPlaneKind::ObjectStore, DataPlaneKind::MemCache] {
+            let mut rig = rig(plane, 5);
+            for i in 0..4 {
+                let req = p2_request(&rig, i + 1, 4);
+                rig.agg.serve(rig.now, &req).expect("servable");
+            }
+            let stats = rig.agg.decoded_stats();
+            assert_eq!(
+                stats.decodes,
+                0,
+                "{}: re-parsed ingested bytes",
+                plane.label()
+            );
+            assert!(stats.hits > 0, "{}: no decoded hits", plane.label());
+            assert!(stats.seeded > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Criterion: hit-path decode cost — decoded-value cache (`Arc` clone)
+//! vs. re-running `Blob → JSON → MetaValue` on every access.
+//!
+//! Quantifies the tentpole win in isolation: a cache hit that re-parses
+//! pays the full JSON decode of a client update per access; the decoded
+//! layer pays it once per object lifetime. The end-to-end effect on
+//! `FlStore::serve` is measured by `benches/serve_path.rs`
+//! (`serve_p2_hit` / `serve_p1_inference_hit`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_fl::decoded::DecodedCache;
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim};
+use flstore_fl::metadata::{round_entries, MetaValue, RoundEntry};
+
+fn entries() -> Vec<RoundEntry> {
+    let cfg = FlJobConfig {
+        rounds: 1,
+        total_clients: 30,
+        clients_per_round: 10,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    };
+    let model = cfg.model;
+    let record = FlJobSim::new(cfg).next().expect("rounds");
+    round_entries(&record, JobId::new(1), &model)
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let entries = entries();
+    let mut group = c.benchmark_group("decoded_cache");
+    group.sample_size(20);
+
+    // Baseline: what the serve path did before the decoded layer — every
+    // access re-parses the blob it already holds.
+    group.bench_function("hit_reparse_per_access", |b| {
+        b.iter(|| {
+            let values: Vec<MetaValue> = entries
+                .iter()
+                .filter_map(|e| MetaValue::from_blob(&e.blob))
+                .collect();
+            black_box(values)
+        });
+    });
+
+    // Decoded layer: the same read is an `Arc` clone after a one-time
+    // parse (here seeded at ingest, as `FlStore::ingest_round` does).
+    group.bench_function("hit_decoded_cache", |b| {
+        let mut cache = DecodedCache::new();
+        for e in &entries {
+            cache.seed(e.key, &e.blob, e.value.clone());
+        }
+        b.iter(|| {
+            let values: Vec<_> = entries
+                .iter()
+                .filter_map(|e| cache.get_or_decode(&e.key, &e.blob))
+                .collect();
+            black_box(values)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_path);
+criterion_main!(benches);

@@ -4,9 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use flstore_core::engine::CacheEngine;
-use flstore_core::policy::{
-    CachingPolicy, EvictionDiscipline, ReactivePolicy, TailoredPolicy,
-};
+use flstore_core::policy::{CachingPolicy, EvictionDiscipline, ReactivePolicy, TailoredPolicy};
 use flstore_fl::ids::JobId;
 use flstore_fl::job::{FlJobConfig, FlJobSim};
 use flstore_fl::metadata::{round_blobs, MetaKey};

@@ -1,25 +1,32 @@
 //! Regenerate the paper's tables and figures. See `flstore-bench` docs.
 
-use flstore_bench::{breakdown, headline, inventory, jobs, motivation, policies, robustness, Scale};
+use flstore_bench::{
+    breakdown, headline, inventory, jobs, motivation, policies, robustness, Scale,
+};
 
 type Experiment = fn(Scale) -> serde_json::Value;
 
-const EXPERIMENTS: &[(&str, Experiment)] = &[
-    ("fig1", motivation::fig1_fig2_fig10),
-    ("fig4", breakdown::fig4),
-    ("fig7", headline::fig7_fig8),
-    ("fig9", headline::fig9_fig17),
-    ("fig11", policies::fig11),
-    ("fig12", robustness::fig12),
-    ("fig13", robustness::fig13_fig14),
-    ("fig15", headline::fig15_fig16),
-    ("fig18", policies::fig18),
-    ("fig19", inventory::fig19),
-    ("table1", inventory::table1),
-    ("table2", policies::table2),
-    ("jobs", jobs::jobs),
-    ("capacity", inventory::capacity),
-    ("overhead", inventory::overhead),
+/// `(id, runner, output)` — `output` is the JSON file each runner emits
+/// under `results/` via `save_json`. `figures -- --list` prints this
+/// column so the CI/verify output check derives its expected-file list
+/// from the same table that runs the experiments; a mismatch between the
+/// column and the runner's actual `save_json` name fails that check.
+const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
+    ("fig1", motivation::fig1_fig2_fig10, "fig1_fig2_fig10"),
+    ("fig4", breakdown::fig4, "fig4"),
+    ("fig7", headline::fig7_fig8, "fig7_fig8"),
+    ("fig9", headline::fig9_fig17, "fig9_fig17"),
+    ("fig11", policies::fig11, "fig11"),
+    ("fig12", robustness::fig12, "fig12"),
+    ("fig13", robustness::fig13_fig14, "fig13_fig14"),
+    ("fig15", headline::fig15_fig16, "fig15_fig16"),
+    ("fig18", policies::fig18, "fig18"),
+    ("fig19", inventory::fig19, "fig19"),
+    ("table1", inventory::table1, "table1"),
+    ("table2", policies::table2, "table2"),
+    ("jobs", jobs::jobs, "jobs"),
+    ("capacity", inventory::capacity, "capacity"),
+    ("overhead", inventory::overhead, "overhead"),
 ];
 
 /// Aliases: a figure produced jointly with another maps to the same run.
@@ -34,19 +41,30 @@ const ALIASES: &[(&str, &str)] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        // Machine-readable manifest: one output file stem per experiment.
+        for (_, _, output) in EXPERIMENTS {
+            println!("{output}");
+        }
+        return;
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let scale = if fast { Scale::Fast } else { Scale::Full };
-    let targets: Vec<&str> = args.iter().filter(|a| *a != "--fast").map(|s| s.as_str()).collect();
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--fast")
+        .map(|s| s.as_str())
+        .collect();
 
     let resolve = |name: &str| -> Option<&'static str> {
-        if EXPERIMENTS.iter().any(|(n, _)| *n == name) {
-            return EXPERIMENTS.iter().find(|(n, _)| *n == name).map(|(n, _)| *n);
+        if let Some((n, _, _)) = EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
+            return Some(*n);
         }
         ALIASES.iter().find(|(a, _)| *a == name).map(|(_, t)| *t)
     };
 
     let to_run: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
-        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+        EXPERIMENTS.iter().map(|(n, _, _)| *n).collect()
     } else {
         let mut chosen = Vec::new();
         for t in &targets {
@@ -57,8 +75,16 @@ fn main() {
                     eprintln!("unknown experiment '{t}'");
                     eprintln!(
                         "available: all {} (+aliases {})",
-                        EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "),
-                        ALIASES.iter().map(|(a, _)| *a).collect::<Vec<_>>().join(" ")
+                        EXPERIMENTS
+                            .iter()
+                            .map(|(n, _, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        ALIASES
+                            .iter()
+                            .map(|(a, _)| *a)
+                            .collect::<Vec<_>>()
+                            .join(" ")
                     );
                     std::process::exit(2);
                 }
@@ -74,8 +100,8 @@ fn main() {
     for name in to_run {
         let run = EXPERIMENTS
             .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, f)| *f)
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, f, _)| *f)
             .expect("resolved above");
         let started = std::time::Instant::now();
         let _ = run(scale);

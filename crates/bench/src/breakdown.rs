@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn efficientnet_round_fetch_near_paper() {
-        let (comm, comp) = comm_comp(WorkloadKind::MaliciousFiltering, &ModelArch::EFFICIENTNET_V2_S);
+        let (comm, comp) = comm_comp(
+            WorkloadKind::MaliciousFiltering,
+            &ModelArch::EFFICIENTNET_V2_S,
+        );
         assert!((80.0..105.0).contains(&comm), "comm {comm}");
         assert!(comp < 5.0, "comp {comp}");
     }

@@ -67,11 +67,7 @@ fn print_rows(label_a: &str, rows_a: &[Value], label_b: &str, rows_b: &[Value], 
     }
 }
 
-fn run_pair(
-    model: ModelArch,
-    scale: Scale,
-    baseline: &str,
-) -> (DriveReport, DriveReport) {
+fn run_pair(model: ModelArch, scale: Scale, baseline: &str) -> (DriveReport, DriveReport) {
     let job = eval_job(model, scale.rounds());
     let trace = flstore_trace::driver::TraceConfig {
         seed: 0xBEEF,

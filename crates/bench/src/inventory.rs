@@ -27,7 +27,12 @@ pub fn fig19(_scale: Scale) -> Value {
     models.sort_by(|a, b| a.size_mb.partial_cmp(&b.size_mb).expect("finite"));
     for m in &models {
         let bar_len = (m.size_mb / 10.0).round() as usize;
-        println!("{:<22} {:>8.1} MB {}", m.name, m.size_mb, "#".repeat(bar_len));
+        println!(
+            "{:<22} {:>8.1} MB {}",
+            m.name,
+            m.size_mb,
+            "#".repeat(bar_len)
+        );
     }
     let avg = average_size();
     println!(
@@ -75,7 +80,12 @@ pub fn table1(_scale: Scale) -> Value {
             .filter(|k| k.policy_class() == class)
             .map(|k| k.label())
             .collect();
-        println!("{:<6} {:<28} {}", class.short_name(), need, members.join(", "));
+        println!(
+            "{:<6} {:<28} {}",
+            class.short_name(),
+            need,
+            members.join(", ")
+        );
         rows.push(json!({
             "class": class.short_name(),
             "data_need": need,
@@ -154,7 +164,10 @@ pub fn overhead(_scale: Scale) -> Value {
         let tracker = RequestTracker::new();
         let t0 = Instant::now();
         for i in 0..n {
-            tracker.dispatch(RequestId::new(i as u64), vec![FunctionId::from_raw(i as u64 % 64)]);
+            tracker.dispatch(
+                RequestId::new(i as u64),
+                vec![FunctionId::from_raw(i as u64 % 64)],
+            );
         }
         let dispatch_us = t0.elapsed().as_micros() as f64 / n as f64;
         let t0 = Instant::now();

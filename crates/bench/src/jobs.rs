@@ -73,13 +73,8 @@ fn run_tenants(n_jobs: u32) -> (f64, f64) {
         }
         for j in 1..=n_jobs {
             req_id += 1;
-            let request = WorkloadRequest::new(
-                RequestId::new(req_id),
-                kind,
-                JobId::new(j),
-                round,
-                None,
-            );
+            let request =
+                WorkloadRequest::new(RequestId::new(req_id), kind, JobId::new(j), round, None);
             if let Ok(done) = front.serve(now, &request) {
                 lat_sum += done.measured.latency.total().as_secs_f64();
                 served += 1;

@@ -37,7 +37,9 @@ fn training_profile(scale: Scale) -> TrainingProfile {
     // The aggregator is busy for the aggregation slice of each round.
     let vm = flstore_cloud::pricing::VmPricing::ML_M5_4XLARGE;
     let round_cost = vm
-        .duration(flstore_sim::time::SimDuration::from_secs_f64(AGGREGATION_SECS))
+        .duration(flstore_sim::time::SimDuration::from_secs_f64(
+            AGGREGATION_SECS,
+        ))
         .as_dollars();
     TrainingProfile {
         round_secs,

@@ -61,12 +61,7 @@ pub fn fig11(scale: Scale) -> Value {
 
 /// One Table 2 lockstep trace: ingest round → request, with `cadence`
 /// rounds between requests. Returns (hits, misses).
-fn lockstep(
-    kind: WorkloadKind,
-    variant: PolicyVariant,
-    rounds: u32,
-    cadence: u32,
-) -> (u64, u64) {
+fn lockstep(kind: WorkloadKind, variant: PolicyVariant, rounds: u32, cadence: u32) -> (u64, u64) {
     let job = FlJobConfig {
         rounds,
         ..FlJobConfig::paper_eval(JobId::new(1), ModelArch::EFFICIENTNET_V2_S)
@@ -115,7 +110,11 @@ pub fn table2(scale: Scale) -> Value {
     ];
     // (class label, workload, request cadence in rounds)
     let classes = [
-        ("P2 (per-round apps)", WorkloadKind::MaliciousFiltering, 1u32),
+        (
+            "P2 (per-round apps)",
+            WorkloadKind::MaliciousFiltering,
+            1u32,
+        ),
         ("P3 (across-round apps)", WorkloadKind::ReputationCalc, 6u32),
         ("P4 (metadata apps)", WorkloadKind::SchedulingPerf, 1u32),
     ];

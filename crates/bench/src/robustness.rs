@@ -58,13 +58,8 @@ pub fn fig12(_scale: Scale) -> Value {
             let mut lat_sum = 0.0;
             let mut cost_sum = 0.0;
             for i in 0..k {
-                let request = WorkloadRequest::new(
-                    RequestId::new(i as u64 + 1),
-                    kind,
-                    job.job,
-                    round,
-                    None,
-                );
+                let request =
+                    WorkloadRequest::new(RequestId::new(i as u64 + 1), kind, job.job, round, None);
                 let served = store.serve(now, &request).expect("servable");
                 lat_sum += served.measured.latency.total().as_secs_f64();
                 cost_sum += served.measured.cost.total().as_dollars();
@@ -128,8 +123,8 @@ pub fn fig13_fig14(scale: Scale) -> Value {
             .iter()
             .map(|o| o.cost.transfer.as_dollars() + o.cost.requests.as_dollars())
             .sum();
-        let replication_cost = report.infra_cost.as_dollars()
-            + report.total_cost.compute.as_dollars() * 0.0; // repair billed in background compute
+        let replication_cost =
+            report.infra_cost.as_dollars() + report.total_cost.compute.as_dollars() * 0.0; // repair billed in background compute
         println!(
             "{:<6} {:>11} {:>11} {:>10.2} {:>12} {:>12} {:>9}",
             fi,

@@ -63,9 +63,13 @@ pub fn subheader(title: &str) {
     println!("--- {title} ---");
 }
 
-/// Writes an experiment's JSON payload under `results/`.
+/// Writes an experiment's JSON payload under `results/` (override the
+/// directory with `FLSTORE_RESULTS_DIR`, e.g. so smoke runs don't clobber
+/// full-scale outputs).
 pub fn save_json(name: &str, value: &Value) {
-    let dir = PathBuf::from("results");
+    let dir = std::env::var("FLSTORE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
     if fs::create_dir_all(&dir).is_err() {
         return; // read-only checkout: printing is enough
     }

@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn scaling_and_addition() {
-        let w = WorkUnits::from_ref_seconds(2.0).scaled(3.0).plus(WorkUnits::from_ref_seconds(1.0));
+        let w = WorkUnits::from_ref_seconds(2.0)
+            .scaled(3.0)
+            .plus(WorkUnits::from_ref_seconds(1.0));
         assert!((w.as_ref_seconds() - 7.0).abs() < 1e-12);
     }
 

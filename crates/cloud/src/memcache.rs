@@ -277,7 +277,11 @@ mod tests {
     fn hit_and_miss_counters() {
         let mut c = small_cache(100);
         let k = ObjectKey::new("a");
-        c.set(SimTime::ZERO, k.clone(), Blob::synthetic(ByteSize::from_mb(10)));
+        c.set(
+            SimTime::ZERO,
+            k.clone(),
+            Blob::synthetic(ByteSize::from_mb(10)),
+        );
         assert!(c.get(SimTime::ZERO, &k).is_some());
         assert!(c.get(SimTime::ZERO, &ObjectKey::new("b")).is_none());
         assert_eq!(c.stats().hits, 1);
@@ -289,11 +293,19 @@ mod tests {
     fn lru_eviction_order() {
         let mut c = small_cache(30);
         for name in ["a", "b", "c"] {
-            c.set(SimTime::ZERO, ObjectKey::new(name), Blob::synthetic(ByteSize::from_mb(10)));
+            c.set(
+                SimTime::ZERO,
+                ObjectKey::new(name),
+                Blob::synthetic(ByteSize::from_mb(10)),
+            );
         }
         // Touch "a" so "b" becomes the LRU victim.
         assert!(c.get(SimTime::ZERO, &ObjectKey::new("a")).is_some());
-        c.set(SimTime::ZERO, ObjectKey::new("d"), Blob::synthetic(ByteSize::from_mb(10)));
+        c.set(
+            SimTime::ZERO,
+            ObjectKey::new("d"),
+            Blob::synthetic(ByteSize::from_mb(10)),
+        );
         assert!(c.contains(&ObjectKey::new("a")));
         assert!(!c.contains(&ObjectKey::new("b")));
         assert!(c.contains(&ObjectKey::new("c")));
@@ -304,7 +316,11 @@ mod tests {
     #[test]
     fn oversized_object_rejected() {
         let mut c = small_cache(10);
-        c.set(SimTime::ZERO, ObjectKey::new("big"), Blob::synthetic(ByteSize::from_mb(50)));
+        c.set(
+            SimTime::ZERO,
+            ObjectKey::new("big"),
+            Blob::synthetic(ByteSize::from_mb(50)),
+        );
         assert!(!c.contains(&ObjectKey::new("big")));
         assert_eq!(c.used(), ByteSize::ZERO);
     }
@@ -313,8 +329,16 @@ mod tests {
     fn replacing_key_updates_usage() {
         let mut c = small_cache(100);
         let k = ObjectKey::new("a");
-        c.set(SimTime::ZERO, k.clone(), Blob::synthetic(ByteSize::from_mb(10)));
-        c.set(SimTime::ZERO, k.clone(), Blob::synthetic(ByteSize::from_mb(20)));
+        c.set(
+            SimTime::ZERO,
+            k.clone(),
+            Blob::synthetic(ByteSize::from_mb(10)),
+        );
+        c.set(
+            SimTime::ZERO,
+            k.clone(),
+            Blob::synthetic(ByteSize::from_mb(20)),
+        );
         assert_eq!(c.used(), ByteSize::from_mb(20));
         assert_eq!(c.len(), 1);
         assert!(c.remove(&k));
@@ -345,7 +369,11 @@ mod tests {
     fn get_is_faster_than_object_store_scale() {
         let mut c = small_cache(1000);
         let k = ObjectKey::new("m");
-        c.set(SimTime::ZERO, k.clone(), Blob::synthetic(ByteSize::from_mb(80)));
+        c.set(
+            SimTime::ZERO,
+            k.clone(),
+            Blob::synthetic(ByteSize::from_mb(80)),
+        );
         let (_, receipt) = c.get(SimTime::ZERO, &k).expect("hit");
         // 80 MB at 40 MB/s ≈ 2 s — faster than the 8 s object-store path.
         assert!(receipt.latency.as_secs_f64() < 3.0);

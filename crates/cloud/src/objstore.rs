@@ -151,7 +151,10 @@ impl ObjectStore {
     fn put_cost_and_insert(&mut self, now: SimTime, key: ObjectKey, blob: Blob) -> CostBreakdown {
         self.accrue(now);
         let size = blob.logical_size();
-        if let Some(old) = self.objects.insert(key, StoredObject { blob, created: now }) {
+        if let Some(old) = self
+            .objects
+            .insert(key, StoredObject { blob, created: now })
+        {
             self.bytes_stored -= old.blob.logical_size();
         }
         self.bytes_stored += size;
@@ -322,7 +325,11 @@ mod tests {
     #[test]
     fn storage_cost_accrues_over_time() {
         let mut s = ObjectStore::default();
-        s.put_async(SimTime::ZERO, ObjectKey::new("a"), Blob::synthetic(ByteSize::from_gb(100)));
+        s.put_async(
+            SimTime::ZERO,
+            ObjectKey::new("a"),
+            Blob::synthetic(ByteSize::from_gb(100)),
+        );
         let month = SimTime::ZERO + SimDuration::from_hours(730);
         let cost = s.storage_cost(month);
         assert!((cost.as_dollars() - 2.3).abs() < 0.01, "got {cost}");

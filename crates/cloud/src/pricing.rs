@@ -159,8 +159,8 @@ mod tests {
     #[test]
     fn lambda_invocation_cost_matches_hand_math() {
         // 4 GB for 3 s = 12 GB-s -> 12 * 0.0000166667 + 0.0000002
-        let c = FunctionPricing::AWS_LAMBDA
-            .invocation(ByteSize::from_gb(4), SimDuration::from_secs(3));
+        let c =
+            FunctionPricing::AWS_LAMBDA.invocation(ByteSize::from_gb(4), SimDuration::from_secs(3));
         assert!((c.as_dollars() - 0.000_200_2).abs() < 1e-6, "{c}");
     }
 

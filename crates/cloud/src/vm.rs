@@ -131,7 +131,9 @@ impl VmInstance {
 
     /// Total always-on cost from launch to `now` (busy or not).
     pub fn uptime_cost(&self, now: SimTime) -> Cost {
-        self.vm_type.pricing().duration(now.duration_since(self.launched_at))
+        self.vm_type
+            .pricing()
+            .duration(now.duration_since(self.launched_at))
     }
 
     /// Utilization in `[0, 1]` over the window from launch to `now`.
@@ -173,7 +175,10 @@ mod tests {
         let vm = VmInstance::launch(VmType::ML_M5_4XLARGE, SimTime::ZERO, 1);
         let cost = vm.uptime_cost(SimTime::ZERO + SimDuration::from_hours(50));
         assert!((cost.as_dollars() - 0.922 * 50.0).abs() < 1e-9);
-        assert_eq!(vm.utilization(SimTime::ZERO + SimDuration::from_hours(50)), 0.0);
+        assert_eq!(
+            vm.utilization(SimTime::ZERO + SimDuration::from_hours(50)),
+            0.0
+        );
     }
 
     #[test]

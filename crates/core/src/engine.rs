@@ -9,10 +9,15 @@
 //! * a prefetched object carries `available_at`, the instant its async
 //!   fetch from the persistent store completes;
 //! * per-key access metadata (insert/access sequence, frequency, size)
-//!   feeds the reactive eviction policies.
+//!   feeds the reactive eviction policies;
+//! * a [`DecodedCache`] rides alongside the placement index so a cached
+//!   object is parsed from its blob at most once per lifetime — every
+//!   mutation that drops or replaces a placement also drops the decoded
+//!   handle, keeping the two layers coherent.
 
 use std::collections::HashMap;
 
+use flstore_fl::decoded::DecodedCache;
 use flstore_fl::metadata::MetaKey;
 use flstore_serverless::function::FunctionId;
 use flstore_sim::bytes::ByteSize;
@@ -55,6 +60,7 @@ pub struct CacheMeta {
 pub struct CacheEngine {
     locations: HashMap<MetaKey, Vec<FunctionId>>,
     meta: HashMap<MetaKey, CacheMeta>,
+    decoded: DecodedCache,
     next_seq: u64,
 }
 
@@ -89,6 +95,18 @@ impl CacheEngine {
         self.meta.get(key)
     }
 
+    /// The decoded-value layer (read-only view, e.g. for stats).
+    pub fn decoded(&self) -> &DecodedCache {
+        &self.decoded
+    }
+
+    /// The decoded-value layer. Serve paths use it to turn blob reads into
+    /// `Arc` clones; placement mutations (`record`, `remove`,
+    /// `drop_replica`) keep it coherent automatically.
+    pub fn decoded_mut(&mut self) -> &mut DecodedCache {
+        &mut self.decoded
+    }
+
     /// Iterates over all cached keys.
     pub fn keys(&self) -> impl Iterator<Item = &MetaKey> {
         self.locations.keys()
@@ -110,6 +128,9 @@ impl CacheEngine {
         available_at: SimTime,
     ) {
         let seq = self.bump();
+        // A (re-)placement may carry different bytes than the decode we
+        // hold; the caller re-seeds after recording if it has the value.
+        self.decoded.invalidate(&key);
         self.locations.insert(key, replicas);
         self.meta.insert(
             key,
@@ -135,6 +156,7 @@ impl CacheEngine {
 
     /// Removes a key entirely. Returns its former locations.
     pub fn remove(&mut self, key: &MetaKey) -> Option<Vec<FunctionId>> {
+        self.decoded.invalidate(key);
         self.meta.remove(key);
         self.locations.remove(key)
     }
@@ -151,6 +173,7 @@ impl CacheEngine {
             }
         }
         for key in &orphaned {
+            self.decoded.invalidate(key);
             self.locations.remove(key);
             self.meta.remove(key);
         }
@@ -203,7 +226,12 @@ mod tests {
     fn record_touch_remove_lifecycle() {
         let mut e = CacheEngine::new();
         let k = key(1, 2);
-        e.record(k, vec![fid(0), fid(1)], ByteSize::from_mb(80), SimTime::ZERO);
+        e.record(
+            k,
+            vec![fid(0), fid(1)],
+            ByteSize::from_mb(80),
+            SimTime::ZERO,
+        );
         assert_eq!(e.len(), 1);
         let before = *e.meta(&k).expect("recorded");
         let after = e.touch(&k).expect("cached");
@@ -219,7 +247,12 @@ mod tests {
         let mut e = CacheEngine::new();
         let a = key(1, 1);
         let b = key(1, 2);
-        e.record(a, vec![fid(0), fid(1)], ByteSize::from_mb(10), SimTime::ZERO);
+        e.record(
+            a,
+            vec![fid(0), fid(1)],
+            ByteSize::from_mb(10),
+            SimTime::ZERO,
+        );
         e.record(b, vec![fid(0)], ByteSize::from_mb(10), SimTime::ZERO);
         let orphaned = e.drop_replica(fid(0));
         assert_eq!(orphaned, vec![b]);
@@ -263,10 +296,67 @@ mod tests {
     }
 
     #[test]
+    fn placement_mutations_keep_decoded_layer_coherent() {
+        use flstore_fl::hyperparams::HyperParams;
+        use flstore_fl::metadata::MetaValue;
+        use flstore_fl::zoo::ModelArch;
+
+        let value = MetaValue::Hyper(HyperParams::schedule(Round::new(1), 10, 0.2));
+        let blob = value.to_blob(&ModelArch::RESNET18);
+        let k = key(1, 1);
+
+        let mut e = CacheEngine::new();
+        e.record(k, vec![fid(0), fid(1)], ByteSize::from_mb(1), SimTime::ZERO);
+        e.decoded_mut().seed(k, &blob, value.clone().into_shared());
+        assert!(e.decoded_mut().get(&k).is_some());
+
+        // Removing the placement drops the decoded handle.
+        e.remove(&k);
+        assert!(e.decoded_mut().get(&k).is_none());
+
+        // Re-recording (overwrite) also invalidates a stale handle.
+        e.record(k, vec![fid(0), fid(1)], ByteSize::from_mb(1), SimTime::ZERO);
+        e.decoded_mut().seed(k, &blob, value.into_shared());
+        e.record(k, vec![fid(2)], ByteSize::from_mb(1), SimTime::ZERO);
+        assert!(e.decoded_mut().get(&k).is_none());
+
+        // A surviving replica keeps the decode; orphaning drops it.
+        let other = key(2, 2);
+        e.record(k, vec![fid(1), fid(2)], ByteSize::from_mb(1), SimTime::ZERO);
+        e.decoded_mut()
+            .seed(k, &blob, MetaValue::from_blob(&blob).unwrap().into_shared());
+        e.record(other, vec![fid(2)], ByteSize::from_mb(1), SimTime::ZERO);
+        e.decoded_mut().seed(
+            other,
+            &blob,
+            MetaValue::from_blob(&blob).unwrap().into_shared(),
+        );
+        e.drop_replica(fid(2));
+        assert!(
+            e.decoded_mut().get(&k).is_some(),
+            "replica on fid(1) survives"
+        );
+        assert!(
+            e.decoded_mut().get(&other).is_none(),
+            "orphaned key re-decodes"
+        );
+    }
+
+    #[test]
     fn bytes_tracked_sums_sizes() {
         let mut e = CacheEngine::new();
-        e.record(key(0, 0), vec![fid(0)], ByteSize::from_mb(80), SimTime::ZERO);
-        e.record(key(0, 1), vec![fid(0)], ByteSize::from_mb(20), SimTime::ZERO);
+        e.record(
+            key(0, 0),
+            vec![fid(0)],
+            ByteSize::from_mb(80),
+            SimTime::ZERO,
+        );
+        e.record(
+            key(0, 1),
+            vec![fid(0)],
+            ByteSize::from_mb(20),
+            SimTime::ZERO,
+        );
         assert_eq!(e.bytes_tracked(), ByteSize::from_mb(100));
     }
 }

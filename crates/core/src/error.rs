@@ -79,9 +79,9 @@ mod tests {
         assert!(e.to_string().contains("req-3"));
         assert!(e.source().is_none());
 
-        let e = FlStoreError::from(StoreError::NotFound(
-            flstore_cloud::blob::ObjectKey::new("k"),
-        ));
+        let e = FlStoreError::from(StoreError::NotFound(flstore_cloud::blob::ObjectKey::new(
+            "k",
+        )));
         assert!(e.to_string().contains("persistent store"));
         assert!(e.source().is_some());
     }

@@ -423,10 +423,9 @@ impl CachingPolicy for StaticPolicy {
                 PolicyClass::P2AllUpdatesInRound => {
                     matches!(k.kind, MetaKind::ClientUpdate | MetaKind::Aggregate)
                 }
-                PolicyClass::P3AcrossRounds => matches!(
-                    k.kind,
-                    MetaKind::ClientUpdate | MetaKind::Aggregate
-                ),
+                PolicyClass::P3AcrossRounds => {
+                    matches!(k.kind, MetaKind::ClientUpdate | MetaKind::Aggregate)
+                }
                 PolicyClass::P4Metadata => {
                     matches!(k.kind, MetaKind::HyperParams | MetaKind::RoundMetrics)
                 }
@@ -507,7 +506,12 @@ mod tests {
 
     fn apply(engine: &mut CacheEngine, actions: &PolicyActions) {
         for k in &actions.cache {
-            engine.record(*k, vec![FunctionId::from_raw(0)], ByteSize::from_mb(45), SimTime::ZERO);
+            engine.record(
+                *k,
+                vec![FunctionId::from_raw(0)],
+                ByteSize::from_mb(45),
+                SimTime::ZERO,
+            );
         }
         for k in &actions.evict {
             engine.remove(k);
@@ -600,8 +604,12 @@ mod tests {
         // Disciplines pick different victims given distinct orderings.
         for keys in f.rounds.iter() {
             for k in keys {
-                f.engine
-                    .record(*k, vec![FunctionId::from_raw(0)], ByteSize::from_mb(10), SimTime::ZERO);
+                f.engine.record(
+                    *k,
+                    vec![FunctionId::from_raw(0)],
+                    ByteSize::from_mb(10),
+                    SimTime::ZERO,
+                );
             }
         }
         // Touch round 0 after all inserts so it is most-recently-used.
@@ -621,7 +629,12 @@ mod tests {
         let mut engine = CacheEngine::new();
         for (i, keys) in f.rounds.iter().enumerate() {
             for k in keys {
-                engine.record(*k, vec![FunctionId::from_raw(0)], ByteSize::from_mb(10), SimTime::ZERO);
+                engine.record(
+                    *k,
+                    vec![FunctionId::from_raw(0)],
+                    ByteSize::from_mb(10),
+                    SimTime::ZERO,
+                );
             }
             let _ = i;
         }
@@ -636,10 +649,7 @@ mod tests {
         let mut f = fixture(2);
         let mut policy = StaticPolicy::new(PolicyClass::P1IndividualOrAggregate);
         let actions = policy.on_ingest(&f.rounds[0], &f.catalog, &f.engine);
-        assert!(actions
-            .cache
-            .iter()
-            .all(|k| k.kind == MetaKind::Aggregate));
+        assert!(actions.cache.iter().all(|k| k.kind == MetaKind::Aggregate));
         assert_eq!(actions.cache.len(), 1);
         apply(&mut f.engine, &actions);
         // A P2 request gets no adaptation.
@@ -662,7 +672,12 @@ mod tests {
         let mut engine = CacheEngine::new();
         for keys in &f.rounds {
             for k in keys {
-                engine.record(*k, vec![FunctionId::from_raw(0)], ByteSize::from_mb(10), SimTime::ZERO);
+                engine.record(
+                    *k,
+                    vec![FunctionId::from_raw(0)],
+                    ByteSize::from_mb(10),
+                    SimTime::ZERO,
+                );
             }
         }
         let mut policy = TailoredPolicy::new();

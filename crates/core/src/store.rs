@@ -18,7 +18,7 @@ use flstore_cloud::network::NetworkProfile;
 use flstore_cloud::objstore::{ObjectStore, ObjectStoreConfig};
 use flstore_fl::ids::JobId;
 use flstore_fl::job::RoundRecord;
-use flstore_fl::metadata::{round_blobs, MetaKey, MetaValue};
+use flstore_fl::metadata::{round_entries, MetaKey, MetaValue, SharedValue};
 use flstore_fl::zoo::ModelArch;
 use flstore_serverless::function::{FunctionConfig, FunctionId};
 use flstore_serverless::platform::{Platform, PlatformConfig};
@@ -33,9 +33,9 @@ use std::collections::HashMap;
 
 use crate::engine::CacheEngine;
 use crate::error::FlStoreError;
-use flstore_workloads::service::{RequestOutcome, ServiceLedger};
 use crate::policy::CachingPolicy;
 use crate::tracker::RequestTracker;
+use flstore_workloads::service::{RequestOutcome, ServiceLedger};
 
 /// Configuration of an [`FlStore`] deployment.
 #[derive(Debug, Clone)]
@@ -153,7 +153,10 @@ impl FlStore {
         job: JobId,
         model: ModelArch,
     ) -> Self {
-        assert!(cfg.replication >= 1, "replication factor must be at least 1");
+        assert!(
+            cfg.replication >= 1,
+            "replication factor must be at least 1"
+        );
         let platform = Platform::new(cfg.platform, cfg.seed);
         let persistent = ObjectStore::new(cfg.objstore);
         let rings = vec![Vec::new(); cfg.replication];
@@ -318,16 +321,12 @@ impl FlStore {
             }
         }
         // First fit among existing ring members.
-        let existing = self
-            .rings[ring]
-            .iter()
-            .copied()
-            .find(|id| {
-                self.platform
-                    .instance(*id)
-                    .map(|i| i.mem_free() >= size)
-                    .unwrap_or(false)
-            });
+        let existing = self.rings[ring].iter().copied().find(|id| {
+            self.platform
+                .instance(*id)
+                .map(|i| i.mem_free() >= size)
+                .unwrap_or(false)
+        });
         let target = match existing {
             Some(id) => id,
             None => {
@@ -367,31 +366,41 @@ impl FlStore {
         }
     }
 
+    /// Evicts `key` from every cache layer (placements, blobs, decoded
+    /// handle) — the persistent copy remains the fallback. Returns whether
+    /// the key was cached.
+    pub fn evict(&mut self, key: &MetaKey) -> bool {
+        let was_cached = self.engine.contains(key);
+        self.evict_key(key);
+        was_cached
+    }
+
     /// Ingests one training round's metadata: write-through backup to the
     /// persistent store, policy-driven hot classification into function
     /// memory, and obsolete-data eviction.
     pub fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) -> IngestReceipt {
         self.advance(now);
         self.catalog.observe_round(record);
-        let items = round_blobs(record, self.catalog.job(), self.catalog.model());
-        let keys: Vec<MetaKey> = items.iter().map(|(k, _)| *k).collect();
+        let items = round_entries(record, self.catalog.job(), self.catalog.model());
+        let keys: Vec<MetaKey> = items.iter().map(|e| e.key).collect();
 
         // Durability first: every object is backed up asynchronously.
         let mut backed_up = 0;
-        let mut blob_of: HashMap<MetaKey, Blob> = HashMap::with_capacity(items.len());
-        for (key, blob) in items {
+        let mut entry_of: HashMap<MetaKey, (SharedValue, Blob)> =
+            HashMap::with_capacity(items.len());
+        for e in items {
             let cost = self
                 .persistent
-                .put_async(now, key.object_key(), blob.clone());
+                .put_async(now, e.key.object_key(), e.blob.clone());
             self.ledger.background_cost += cost;
-            blob_of.insert(key, blob);
+            entry_of.insert(e.key, (e.value, e.blob));
             backed_up += 1;
         }
 
         let actions = self.policy.on_ingest(&keys, &self.catalog, &self.engine);
         let mut cached = 0;
         for key in &actions.cache {
-            if let Some(blob) = blob_of.get(key) {
+            if let Some((value, blob)) = entry_of.get(key) {
                 // Ingestion billing: one short invocation streams the object
                 // into function memory (data arrived with the round; no
                 // plane-crossing transfer).
@@ -403,6 +412,11 @@ impl FlStore {
                     .invocation(self.cfg.function_config.memory, dur);
                 self.ledger.background_cost.compute += cost;
                 self.cache_object(now, *key, blob.clone(), now);
+                if self.engine.contains(key) {
+                    // The producer already holds the decoded value: seed the
+                    // decoded layer so this object is never parsed again.
+                    self.engine.decoded_mut().seed(*key, blob, value.clone());
+                }
                 cached += 1;
             }
         }
@@ -427,11 +441,17 @@ impl FlStore {
     /// * [`FlStoreError::Store`] when a miss cannot be satisfied by the
     ///   persistent store either;
     /// * [`FlStoreError::Workload`] when the workload rejects its inputs.
-    pub fn serve(&mut self, now: SimTime, request: &WorkloadRequest) -> Result<ServedRequest, FlStoreError> {
+    pub fn serve(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+    ) -> Result<ServedRequest, FlStoreError> {
         self.advance(now);
         let needs = self.catalog.data_needs(request);
         if needs.is_empty() {
-            return Err(FlStoreError::NoData { request: request.id });
+            return Err(FlStoreError::NoData {
+                request: request.id,
+            });
         }
 
         let mut latency = LatencyBreakdown {
@@ -452,9 +472,12 @@ impl FlStore {
         referenced.dedup();
         for id in referenced {
             if let Ok(Some(_)) = self.platform.refresh(now, id) {
-                let had_needed = needs
-                    .iter()
-                    .any(|k| self.engine.locations(k).map(|l| l.contains(&id)).unwrap_or(false));
+                let had_needed = needs.iter().any(|k| {
+                    self.engine
+                        .locations(k)
+                        .map(|l| l.contains(&id))
+                        .unwrap_or(false)
+                });
                 self.handle_reclaimed(now, id);
                 if had_needed {
                     recovered_from_fault = true;
@@ -482,7 +505,7 @@ impl FlStore {
         // can evict under capacity pressure): locality-aware execution.
         // Choose the primary function (the one holding the most needed
         // bytes); data on sibling functions is gathered intra-cloud.
-        let mut values: Vec<MetaValue> = Vec::with_capacity(needs.len());
+        let mut values: Vec<SharedValue> = Vec::with_capacity(needs.len());
         let mut bytes_on: HashMap<FunctionId, ByteSize> = HashMap::new();
         for key in &hit_keys {
             if let (Some(locs), Some(meta)) = (self.engine.locations(key), self.engine.meta(key)) {
@@ -529,14 +552,19 @@ impl FlStore {
                     gather_bytes += meta.size;
                 }
             }
-            let blob = self
-                .platform
-                .instance(source)
-                .and_then(|i| i.object(&key.object_key()).cloned());
-            if let Some(blob) = blob {
-                if let Some(v) = MetaValue::from_blob(&blob) {
-                    values.push(v);
-                }
+            // Zero-decode fast path: a cached object hands back its shared
+            // handle; only a handle-less hit (e.g. after prefetch) reads the
+            // blob, and then decodes at most once for the object's lifetime.
+            let value = match self.engine.decoded_mut().get(key) {
+                Some(v) => Some(v),
+                None => self
+                    .platform
+                    .instance(source)
+                    .and_then(|i| i.object(&key.object_key()).cloned())
+                    .and_then(|blob| self.engine.decoded_mut().get_or_decode(key, &blob)),
+            };
+            if let Some(v) = value {
+                values.push(v);
             }
         }
         if gather_items > 0 {
@@ -553,11 +581,19 @@ impl FlStore {
             cost += receipt.cost;
             let cache_miss = self.policy.cache_on_miss();
             for (key, blob) in miss_keys.iter().zip(blobs) {
-                if let Some(v) = MetaValue::from_blob(&blob) {
-                    values.push(v);
-                }
                 if cache_miss {
-                    self.cache_object(now, *key, blob, now);
+                    self.cache_object(now, *key, blob.clone(), now);
+                }
+                if cache_miss && self.engine.contains(key) {
+                    // Newly cached: decode once through the decoded layer so
+                    // later hits are Arc clones.
+                    if let Some(v) = self.engine.decoded_mut().get_or_decode(key, &blob) {
+                        values.push(v);
+                    }
+                } else if let Some(v) = MetaValue::decode_shared(&blob) {
+                    // Not cached (policy or capacity): the miss path re-parses
+                    // per access, exactly like a conventional framework.
+                    values.push(v);
                 }
             }
         }
@@ -577,16 +613,11 @@ impl FlStore {
         self.tracker.dispatch(request.id, vec![exec_fn]);
         let invoke = self.platform.invoke(now, exec_fn, outcome.work)?;
         latency.queueing += invoke.queue_wait;
-        latency.computation += invoke
-            .receipt
-            .latency
-            .saturating_sub(invoke.queue_wait);
+        latency.computation += invoke.receipt.latency.saturating_sub(invoke.queue_wait);
         cost += invoke.receipt.cost;
 
         // Policy reaction: prefetch for the request train, shed the past.
-        let actions = self
-            .policy
-            .on_request(request, &self.catalog, &self.engine);
+        let actions = self.policy.on_request(request, &self.catalog, &self.engine);
         for key in &actions.prefetch {
             if self.engine.contains(key) {
                 continue;

@@ -85,7 +85,8 @@ impl MultiTenantStore {
         // Function sizing follows each tenant's model, as in single-tenant
         // deployments.
         cfg.function_config = FlStoreConfig::for_model(&model).function_config;
-        self.tenants.insert(job, FlStore::new(cfg, policy, job, model));
+        self.tenants
+            .insert(job, FlStore::new(cfg, policy, job, model));
         true
     }
 
@@ -135,10 +136,7 @@ impl MultiTenantStore {
 
     /// Aggregate cost across tenants over the window ending at `now`.
     pub fn total_cost(&mut self, now: SimTime) -> CostBreakdown {
-        self.tenants
-            .values_mut()
-            .map(|s| s.total_cost(now))
-            .sum()
+        self.tenants.values_mut().map(|s| s.total_cost(now)).sum()
     }
 }
 
@@ -201,7 +199,11 @@ mod tests {
         // One tenant's cache holds only its own objects.
         let t1 = front.tenant(JobId::new(1)).expect("registered");
         for key in t1.engine().keys() {
-            assert_eq!(key.job, JobId::new(1), "foreign object in tenant cache: {key}");
+            assert_eq!(
+                key.job,
+                JobId::new(1),
+                "foreign object in tenant cache: {key}"
+            );
         }
         // Tenants do not share functions.
         assert!(t1.platform().instance_count() > 0);
@@ -265,7 +267,9 @@ mod tests {
                 ..FlJobConfig::quick_test(job)
             };
             let record = FlJobSim::new(cfg).next().expect("one round");
-            front.ingest_round(SimTime::ZERO, job, &record).expect("registered");
+            front
+                .ingest_round(SimTime::ZERO, job, &record)
+                .expect("registered");
         }
         let small = front.tenant(JobId::new(1)).expect("t1");
         let large = front.tenant(JobId::new(2)).expect("t2");

@@ -1,0 +1,204 @@
+//! Decoded-value cache invariants on the full serve path: at most one
+//! `Blob → JSON → MetaValue` parse per cached object lifetime, coherent
+//! re-decoding after eviction/overwrite, and no stale handle ever served.
+
+use proptest::prelude::*;
+
+use flstore_core::policy::TailoredPolicy;
+use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_fl::decoded::DecodedCache;
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+use flstore_fl::metadata::{round_entries, MetaValue};
+use flstore_fl::zoo::ModelArch;
+use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::WorkloadKind;
+
+/// Round-scoped (P1/P2) workload kinds: no target client required.
+const ROUND_KINDS: &[WorkloadKind] = &[
+    WorkloadKind::CosineSimilarity,
+    WorkloadKind::MaliciousFiltering,
+    WorkloadKind::Clustering,
+    WorkloadKind::SchedulingCluster,
+    WorkloadKind::Incentives,
+    WorkloadKind::Inference,
+];
+
+struct Rig {
+    store: FlStore,
+    records: Vec<RoundRecord>,
+    now: SimTime,
+}
+
+fn rig(rounds: u32) -> Rig {
+    let job_cfg = FlJobConfig {
+        rounds,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    };
+    let cfg = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&job_cfg.model)
+    };
+    let store = FlStore::new(
+        cfg,
+        Box::new(TailoredPolicy::new()),
+        job_cfg.job,
+        job_cfg.model,
+    );
+    let records: Vec<RoundRecord> = FlJobSim::new(job_cfg).collect();
+    Rig {
+        store,
+        records,
+        now: SimTime::ZERO,
+    }
+}
+
+impl Rig {
+    fn ingest_all(&mut self) {
+        let records = self.records.clone();
+        for r in &records {
+            self.store.ingest_round(self.now, r);
+            self.now += SimDuration::from_secs(120);
+        }
+    }
+
+    fn request(&self, id: u64, kind: WorkloadKind, round_idx: usize) -> WorkloadRequest {
+        WorkloadRequest::new(
+            RequestId::new(id),
+            kind,
+            JobId::new(1),
+            self.records[round_idx].round,
+            None,
+        )
+    }
+}
+
+proptest! {
+    /// Across any round-scoped workload and any number of repeated hits,
+    /// the serve path never parses a blob the store already understood:
+    /// ingest seeds the decoded layer, so the decode count stays zero.
+    #[test]
+    fn cached_objects_are_never_reparsed_on_hits(
+        kind_idx in 0usize..ROUND_KINDS.len(),
+        serves in 1usize..10,
+    ) {
+        let mut r = rig(6);
+        r.ingest_all();
+        let kind = ROUND_KINDS[kind_idx];
+        let mut outputs = Vec::new();
+        for i in 0..serves {
+            let req = r.request(i as u64 + 1, kind, 5);
+            r.now += SimDuration::from_secs(30);
+            let served = r.store.serve(r.now, &req).expect("servable");
+            prop_assert!(served.measured.cache_hits > 0);
+            outputs.push(served.outcome.output);
+        }
+        let stats = r.store.engine().decoded().stats();
+        prop_assert_eq!(stats.decodes, 0, "hit path must be zero-decode");
+        prop_assert!(stats.hits > 0);
+        // Shared handles serve byte-identical results.
+        prop_assert!(outputs.windows(2).all(|w| {
+            // Randomized workloads derive their seed from the request id,
+            // so only deterministic kinds must match across ids.
+            !matches!(kind, WorkloadKind::MaliciousFiltering) || w[0] == w[1]
+        }));
+    }
+
+    /// Decode-count ≤ 1 per cached object lifetime, including the
+    /// eviction → miss → re-cache → hit transition: after a full eviction
+    /// the first serve re-fetches and decodes each object exactly once,
+    /// and repeats parse nothing new.
+    #[test]
+    fn eviction_then_refetch_redecodes_once(serves in 2usize..8) {
+        let mut r = rig(4);
+        r.ingest_all();
+
+        // Evict everything the policy cached: the next serve starts from a
+        // genuine miss and must re-fetch from the persistent store.
+        let cached: Vec<_> = r.store.engine().keys().copied().collect();
+        prop_assert!(!cached.is_empty());
+        for k in &cached {
+            prop_assert!(r.store.evict(k));
+        }
+        prop_assert_eq!(r.store.engine().len(), 0);
+        prop_assert_eq!(r.store.engine().decoded().stats().decodes, 0);
+
+        let mut first_decodes = 0;
+        for i in 0..serves {
+            let req = r.request(900 + i as u64, WorkloadKind::MaliciousFiltering, 3);
+            r.now += SimDuration::from_secs(30);
+            let served = r.store.serve(r.now, &req).expect("servable");
+            let stats = r.store.engine().decoded().stats();
+            if i == 0 {
+                prop_assert!(served.measured.cache_misses > 0);
+                first_decodes = stats.decodes;
+                prop_assert!(first_decodes > 0, "first serve decodes the misses");
+                prop_assert!(
+                    first_decodes <= served.measured.cache_misses as u64,
+                    "≤1 decode per fetched object: {} decodes for {} misses",
+                    first_decodes,
+                    served.measured.cache_misses
+                );
+            } else {
+                prop_assert!(served.measured.cache_hits > 0);
+                prop_assert_eq!(
+                    stats.decodes, first_decodes,
+                    "repeat serves must not re-parse"
+                );
+            }
+        }
+    }
+    /// Overwriting a key with different bytes always re-decodes and serves
+    /// the *new* value — a stale `Arc` never survives an overwrite,
+    /// whatever the interleaving of reads, seeds, and overwrites.
+    #[test]
+    fn overwrites_never_serve_stale_values(ops in prop::collection::vec(0u8..3, 1..30)) {
+        let cfg = FlJobConfig::quick_test(JobId::new(3));
+        let model = cfg.model;
+        let record = FlJobSim::new(cfg).next().expect("rounds");
+        let entries = round_entries(&record, JobId::new(3), &model);
+        let key = entries[0].key;
+
+        // A pool of distinct values all stored under the same key.
+        let versions: Vec<MetaValue> = entries.iter().map(|e| (*e.value).clone()).collect();
+        let blobs: Vec<_> = versions.iter().map(|v| v.to_blob(&ModelArch::RESNET18)).collect();
+
+        let mut cache = DecodedCache::new();
+        let mut current = 0usize;
+        cache.seed(key, &blobs[0], versions[0].clone().into_shared());
+        for op in ops {
+            match op {
+                // Read: must observe the current version's value.
+                0 => {
+                    let got = cache
+                        .get_or_decode(&key, &blobs[current])
+                        .expect("decodable");
+                    prop_assert_eq!(&*got, &versions[current]);
+                }
+                // Overwrite with the next version's bytes.
+                1 => {
+                    current = (current + 1) % versions.len();
+                    let got = cache
+                        .get_or_decode(&key, &blobs[current])
+                        .expect("decodable");
+                    prop_assert_eq!(&*got, &versions[current], "stale Arc after overwrite");
+                }
+                // Evict, then refetch: must re-decode the current bytes.
+                _ => {
+                    let before = cache.stats().decodes;
+                    cache.invalidate(&key);
+                    let got = cache
+                        .get_or_decode(&key, &blobs[current])
+                        .expect("decodable");
+                    prop_assert_eq!(&*got, &versions[current]);
+                    prop_assert_eq!(cache.stats().decodes, before + 1, "refetch re-decodes");
+                }
+            }
+        }
+    }
+}

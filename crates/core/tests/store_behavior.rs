@@ -112,7 +112,10 @@ fn p2_request_for_ancient_round_misses_and_recovers() {
     rig.ingest_all();
     // Round 0 was evicted long ago by the ingest train.
     let req = rig.request(WorkloadKind::Clustering, 0);
-    let served = rig.store.serve(rig.now, &req).expect("persistent store has it");
+    let served = rig
+        .store
+        .serve(rig.now, &req)
+        .expect("persistent store has it");
     assert!(served.measured.cache_misses > 0);
     // Miss path pays object-store communication (tens of seconds at
     // ResNet18 sizes).
@@ -226,7 +229,10 @@ fn static_policy_misses_out_of_class_requests() {
     // ...but the workload switched to malicious filtering (P2): misses.
     let filt = rig.request(WorkloadKind::MaliciousFiltering, 5);
     let served = rig.store.serve(rig.now, &filt).expect("servable");
-    assert!(served.measured.cache_misses > 0, "static policy must miss P2");
+    assert!(
+        served.measured.cache_misses > 0,
+        "static policy must miss P2"
+    );
 }
 
 #[test]
@@ -280,7 +286,10 @@ fn capacity_limited_store_still_serves() {
 
 #[test]
 fn per_request_cost_is_orders_below_a_dollar() {
-    let mut rig = Rig::new(quiet_config(&flstore_fl::zoo::ModelArch::EFFICIENTNET_V2_S), 6);
+    let mut rig = Rig::new(
+        quiet_config(&flstore_fl::zoo::ModelArch::EFFICIENTNET_V2_S),
+        6,
+    );
     rig.ingest_all();
     let req = rig.request(WorkloadKind::CosineSimilarity, 5);
     let served = rig.store.serve(rig.now, &req).expect("servable");
@@ -320,7 +329,10 @@ fn unknown_round_is_a_clean_error() {
         None,
     );
     let err = rig.store.serve(rig.now, &req).unwrap_err();
-    assert!(matches!(err, flstore_core::error::FlStoreError::NoData { .. }));
+    assert!(matches!(
+        err,
+        flstore_core::error::FlStoreError::NoData { .. }
+    ));
 }
 
 #[test]

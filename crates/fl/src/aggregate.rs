@@ -65,8 +65,11 @@ pub fn mean_aggregate(job: JobId, round: Round, updates: &[ModelUpdate]) -> Opti
         weights.axpy(1.0 / updates.len() as f64, &u.weights);
     }
     let loss = updates.iter().map(|u| u.metrics.local_loss).sum::<f64>() / updates.len() as f64;
-    let accuracy =
-        updates.iter().map(|u| u.metrics.local_accuracy).sum::<f64>() / updates.len() as f64;
+    let accuracy = updates
+        .iter()
+        .map(|u| u.metrics.local_accuracy)
+        .sum::<f64>()
+        / updates.len() as f64;
     Some(AggregateModel {
         job,
         round,

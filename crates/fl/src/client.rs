@@ -73,8 +73,10 @@ pub fn generate_population(
     );
     let mut rng = DetRng::stream(seed, "client-population");
     let n_mal = (malicious_fraction * n as f64).ceil() as usize;
-    let mal_set: std::collections::HashSet<usize> =
-        rng.choose_k(n as usize, n_mal.min(n as usize)).into_iter().collect();
+    let mal_set: std::collections::HashSet<usize> = rng
+        .choose_k(n as usize, n_mal.min(n as usize))
+        .into_iter()
+        .collect();
     (0..n)
         .map(|i| {
             let compute_speed = rng.log_normal(0.0, 0.4);

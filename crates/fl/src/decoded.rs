@@ -1,0 +1,283 @@
+//! Decoded-value cache: at most one `Blob → JSON → MetaValue` parse per
+//! cached object lifetime.
+//!
+//! Serving systems keep blobs next to compute (function memory, memcache
+//! clusters, object stores); without this layer every request re-parses
+//! the blob it already holds. [`DecodedCache`] maps a [`MetaKey`] to the
+//! [`SharedValue`] decoded from its current bytes, so a cache hit is an
+//! `Arc` clone instead of a JSON parse.
+//!
+//! Coherence is two-layered:
+//!
+//! * owners invalidate explicitly on eviction/overwrite
+//!   ([`DecodedCache::invalidate`]), and
+//! * every validated read ([`DecodedCache::get_or_decode`]) checks that
+//!   the presented blob is *the same bytes in memory* as the ones the
+//!   cached value was decoded from (`Bytes::ptr_eq`). The entry pins a
+//!   refcounted clone of those bytes, so the backing buffer can never be
+//!   freed and its address reused while the entry lives — a pointer match
+//!   therefore guarantees the decode is current, and an overwritten blob
+//!   (new buffer, new address) forces a re-decode. No stale handle can
+//!   survive an overwrite.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use flstore_cloud::blob::Blob;
+
+use crate::metadata::{MetaKey, MetaValue, SharedValue};
+
+/// Operation counters for the decoded-value layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodedStats {
+    /// Reads served from an existing decoded handle (zero-parse).
+    pub hits: u64,
+    /// Full `Blob → MetaValue` parses performed by the cache.
+    pub decodes: u64,
+    /// Entries seeded from values already decoded by the producer
+    /// (ingest-time: zero-parse).
+    pub seeded: u64,
+    /// Entries dropped — explicit invalidation or a byte-identity
+    /// mismatch on read.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The exact bytes `value` was decoded from. Holding this clone pins
+    /// the backing buffer, making the `ptr_eq` identity check sound.
+    payload: Bytes,
+    value: SharedValue,
+}
+
+/// Maps cached object keys to their decoded value handles.
+///
+/// # Examples
+///
+/// ```
+/// use flstore_fl::decoded::DecodedCache;
+/// use flstore_fl::ids::{ClientId, JobId, Round};
+/// use flstore_fl::job::{FlJobConfig, FlJobSim};
+/// use flstore_fl::metadata::round_entries;
+///
+/// let cfg = FlJobConfig::quick_test(JobId::new(1));
+/// let model = cfg.model;
+/// let record = FlJobSim::new(cfg).next().expect("rounds");
+/// let entries = round_entries(&record, JobId::new(1), &model);
+///
+/// let mut cache = DecodedCache::new();
+/// for e in &entries {
+///     cache.seed(e.key, &e.blob, e.value.clone());
+/// }
+/// // Every subsequent read is an Arc clone, not a JSON parse.
+/// let e = &entries[0];
+/// let v = cache.get_or_decode(&e.key, &e.blob).expect("decodable");
+/// assert_eq!(*v, *e.value);
+/// assert_eq!(cache.stats().decodes, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecodedCache {
+    entries: HashMap<MetaKey, Entry>,
+    stats: DecodedStats,
+}
+
+impl DecodedCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DecodedCache::default()
+    }
+
+    /// Number of decoded entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Operation counters since construction.
+    pub fn stats(&self) -> DecodedStats {
+        self.stats
+    }
+
+    /// The decoded handle for `key`, if present. Trusts the owner's
+    /// explicit invalidation; use [`DecodedCache::get_or_decode`] when the
+    /// current blob is at hand and byte-identity should be verified.
+    pub fn get(&mut self, key: &MetaKey) -> Option<SharedValue> {
+        let entry = self.entries.get(key)?;
+        self.stats.hits += 1;
+        Some(entry.value.clone())
+    }
+
+    /// The decoded handle for `key` validated against `blob`: returns the
+    /// cached handle when the entry was decoded from these exact bytes,
+    /// re-decodes (and replaces the entry) otherwise. Returns `None` for
+    /// undecodable payloads (synthetic blobs), dropping any stale entry.
+    pub fn get_or_decode(&mut self, key: &MetaKey, blob: &Blob) -> Option<SharedValue> {
+        if let Some(entry) = self.entries.get(key) {
+            if entry.payload.ptr_eq(blob.payload()) {
+                self.stats.hits += 1;
+                return Some(entry.value.clone());
+            }
+            // Same key, different bytes: the object was overwritten.
+            self.stats.invalidations += 1;
+            self.entries.remove(key);
+        }
+        self.decode_insert(*key, blob)
+    }
+
+    /// Seeds an entry from a value the producer already holds decoded
+    /// (ingest path): no parse happens now or on later hits, as long as
+    /// the served blob keeps these bytes.
+    ///
+    /// Payload-less blobs are ignored: all empty `Bytes` views alias one
+    /// address, so `ptr_eq` cannot distinguish them and a seeded entry
+    /// could match a logically different empty blob later. (Such blobs
+    /// carry nothing decodable anyway.)
+    pub fn seed(&mut self, key: MetaKey, blob: &Blob, value: SharedValue) {
+        if blob.payload().is_empty() {
+            return;
+        }
+        self.stats.seeded += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                payload: blob.payload().clone(),
+                value,
+            },
+        );
+    }
+
+    /// Drops the entry for `key` (owner-side eviction/overwrite).
+    pub fn invalidate(&mut self, key: &MetaKey) {
+        if self.entries.remove(key).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    fn decode_insert(&mut self, key: MetaKey, blob: &Blob) -> Option<SharedValue> {
+        self.stats.decodes += 1;
+        let value = MetaValue::decode_shared(blob)?;
+        self.entries.insert(
+            key,
+            Entry {
+                payload: blob.payload().clone(),
+                value: value.clone(),
+            },
+        );
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, Round};
+    use crate::job::{FlJobConfig, FlJobSim};
+    use crate::metadata::round_entries;
+    use crate::zoo::ModelArch;
+    use flstore_sim::bytes::ByteSize;
+
+    fn sample() -> (MetaKey, SharedValue, Blob) {
+        let cfg = FlJobConfig::quick_test(JobId::new(7));
+        let model = cfg.model;
+        let record = FlJobSim::new(cfg).next().expect("rounds");
+        let e = round_entries(&record, JobId::new(7), &model)
+            .into_iter()
+            .next()
+            .expect("entries");
+        (e.key, e.value, e.blob)
+    }
+
+    #[test]
+    fn decode_happens_once_across_repeated_hits() {
+        let (key, _, blob) = sample();
+        let mut cache = DecodedCache::new();
+        let first = cache.get_or_decode(&key, &blob).expect("decodable");
+        for _ in 0..100 {
+            let again = cache.get_or_decode(&key, &blob).expect("decodable");
+            assert!(SharedValue::ptr_eq(&first, &again));
+        }
+        assert_eq!(cache.stats().decodes, 1);
+        assert_eq!(cache.stats().hits, 100);
+    }
+
+    #[test]
+    fn seeded_entries_never_parse() {
+        let (key, value, blob) = sample();
+        let mut cache = DecodedCache::new();
+        cache.seed(key, &blob, value.clone());
+        for _ in 0..10 {
+            let got = cache.get_or_decode(&key, &blob).expect("cached");
+            assert!(SharedValue::ptr_eq(&value, &got));
+        }
+        assert_eq!(cache.stats().decodes, 0);
+        assert_eq!(cache.stats().seeded, 1);
+    }
+
+    #[test]
+    fn overwrite_forces_redecode_and_serves_fresh_value() {
+        let (key, _, blob) = sample();
+        let mut cache = DecodedCache::new();
+        let stale = cache.get_or_decode(&key, &blob).expect("decodable");
+
+        // Overwrite: same key, different bytes (a different value).
+        let replacement = MetaValue::Hyper(crate::hyperparams::HyperParams::schedule(
+            Round::new(1),
+            10,
+            0.2,
+        ));
+        let new_blob = replacement.to_blob(&ModelArch::RESNET18);
+        let fresh = cache.get_or_decode(&key, &new_blob).expect("decodable");
+        assert!(!SharedValue::ptr_eq(&stale, &fresh));
+        assert_eq!(*fresh, replacement);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().decodes, 2);
+    }
+
+    #[test]
+    fn invalidate_then_refetch_redecodes() {
+        let (key, _, blob) = sample();
+        let mut cache = DecodedCache::new();
+        cache.get_or_decode(&key, &blob).expect("decodable");
+        cache.invalidate(&key);
+        assert!(cache.get(&key).is_none());
+        cache.get_or_decode(&key, &blob).expect("decodable");
+        assert_eq!(cache.stats().decodes, 2);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn synthetic_blobs_do_not_cache() {
+        let (key, _, _) = sample();
+        let mut cache = DecodedCache::new();
+        let blob = Blob::synthetic(ByteSize::from_mb(1));
+        assert!(cache.get_or_decode(&key, &blob).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn seeding_a_payloadless_blob_is_refused() {
+        // All empty `Bytes` views share one address, so an empty-payload
+        // entry would ptr_eq-match ANY later empty blob and serve a stale
+        // value for logically different data. `seed` must refuse it.
+        let (key, value, _) = sample();
+        let mut cache = DecodedCache::new();
+        let synthetic_a = Blob::synthetic(ByteSize::from_mb(1));
+        cache.seed(key, &synthetic_a, value);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().seeded, 0);
+        // A later read with a different (also payload-less) blob cannot be
+        // served a stale handle.
+        let synthetic_b = Blob::synthetic(ByteSize::from_mb(2));
+        assert!(cache.get_or_decode(&key, &synthetic_b).is_none());
+    }
+}

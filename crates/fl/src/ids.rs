@@ -5,7 +5,9 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one FL job (training session).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct JobId(u32);
 
 impl JobId {
@@ -27,7 +29,9 @@ impl fmt::Display for JobId {
 }
 
 /// Identifier of one client device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ClientId(u32);
 
 impl ClientId {
@@ -49,7 +53,9 @@ impl fmt::Display for ClientId {
 }
 
 /// A training round number (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Round(u32);
 
 impl Round {

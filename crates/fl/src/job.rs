@@ -159,7 +159,10 @@ impl FlJobSim {
             cfg.clients_per_round > 0 && cfg.clients_per_round <= cfg.total_clients,
             "clients_per_round must be in 1..=total_clients"
         );
-        assert!(cfg.latent_clusters > 0, "at least one latent cluster required");
+        assert!(
+            cfg.latent_clusters > 0,
+            "at least one latent cluster required"
+        );
         let population = generate_population(
             cfg.seed,
             cfg.total_clients,
@@ -255,8 +258,8 @@ impl FlJobSim {
             (1.05 - local_loss / 2.55).clamp(0.02, 0.99)
         };
         let ref_train_secs = 60.0 * self.cfg.model.compute_scale();
-        let train_time_s = profile.local_train_secs(ref_train_secs)
-            * (0.9 + 0.2 * self.rng_metrics.u01());
+        let train_time_s =
+            profile.local_train_secs(ref_train_secs) * (0.9 + 0.2 * self.rng_metrics.u01());
         let upload_time_s = profile.upload_secs(self.cfg.model.size().as_bytes());
         self.last_loss[client_idx] = local_loss;
         ModelUpdate {
@@ -439,7 +442,10 @@ mod tests {
                 }
             }
         }
-        assert!(!malicious_sims.is_empty(), "expected malicious participants");
+        assert!(
+            !malicious_sims.is_empty(),
+            "expected malicious participants"
+        );
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&honest_sims) > mean(&malicious_sims) + 0.3,

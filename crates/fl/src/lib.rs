@@ -29,6 +29,7 @@
 pub mod aggregate;
 pub mod client;
 pub mod dataset;
+pub mod decoded;
 pub mod hyperparams;
 pub mod ids;
 pub mod job;
@@ -41,10 +42,13 @@ pub mod zoo;
 pub use aggregate::{fedavg, AggregateModel};
 pub use client::ClientProfile;
 pub use dataset::DatasetSpec;
+pub use decoded::{DecodedCache, DecodedStats};
 pub use hyperparams::HyperParams;
 pub use ids::{ClientId, JobId, Round};
 pub use job::{FlJobConfig, FlJobSim, RoundRecord};
-pub use metadata::{round_blobs, MetaKey, MetaKind, MetaValue};
+pub use metadata::{
+    round_blobs, round_entries, MetaKey, MetaKind, MetaValue, RoundEntry, SharedValue,
+};
 pub use metrics::{ClientRoundInfo, RoundMetrics};
 pub use update::{ModelUpdate, UpdateMetrics};
 pub use weights::WeightVector;

@@ -7,6 +7,8 @@
 //! (the full serialized model for updates/aggregates) — the quantity all
 //! latency/cost models account.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use flstore_cloud::blob::{Blob, ObjectKey};
@@ -119,6 +121,16 @@ impl std::fmt::Display for MetaKey {
     }
 }
 
+/// A shared handle to a decoded [`MetaValue`].
+///
+/// Cloning is a refcount bump — serving systems hand these out per request
+/// so a cached object is parsed from its [`Blob`] at most once per
+/// lifetime, instead of re-running `Blob → JSON → MetaValue` on every
+/// access. `Arc<MetaValue>: Borrow<MetaValue>`, so a `&[SharedValue]`
+/// slice feeds any consumer generic over `Borrow<MetaValue>` (see
+/// `flstore_workloads::run::execute`).
+pub type SharedValue = Arc<MetaValue>;
+
 /// A typed metadata record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MetaValue {
@@ -161,9 +173,7 @@ impl MetaValue {
         match self {
             MetaValue::Update(_) | MetaValue::Aggregate(_) => model.size(),
             MetaValue::Hyper(_) => ByteSize::from_kb(2),
-            MetaValue::Metrics(m) => {
-                ByteSize::from_bytes(1024 + 96 * m.clients.len() as u64)
-            }
+            MetaValue::Metrics(m) => ByteSize::from_bytes(1024 + 96 * m.clients.len() as u64),
         }
     }
 
@@ -180,23 +190,66 @@ impl MetaValue {
     pub fn from_blob(blob: &Blob) -> Option<MetaValue> {
         serde_json::from_slice(blob.payload()).ok()
     }
+
+    /// One-time parse into a shared handle: the `Blob → JSON → MetaValue`
+    /// decode happens here, after which every consumer clones the cheap
+    /// [`SharedValue`] instead of re-parsing.
+    pub fn decode_shared(blob: &Blob) -> Option<SharedValue> {
+        MetaValue::from_blob(blob).map(Arc::new)
+    }
+
+    /// Wraps an already-constructed value in a shared handle.
+    pub fn into_shared(self) -> SharedValue {
+        Arc::new(self)
+    }
+}
+
+/// One ingestible metadata object: its key, the decoded value handle, and
+/// the serialized blob. Producing both sides at ingest time lets serving
+/// systems seed their decoded-value caches without ever re-parsing the
+/// blob they just wrote.
+#[derive(Debug, Clone)]
+pub struct RoundEntry {
+    /// Storage address.
+    pub key: MetaKey,
+    /// The decoded value, shareable without re-parsing.
+    pub value: SharedValue,
+    /// The persisted form (JSON payload + logical size).
+    pub blob: Blob,
+}
+
+/// Flattens a [`RoundRecord`] into ingestible [`RoundEntry`]s: one per
+/// client update, plus the aggregate, hyperparameters, and metrics. Each
+/// entry carries both the blob (for the persistence boundary) and the
+/// decoded handle (for serving caches).
+pub fn round_entries(record: &RoundRecord, job: JobId, model: &ModelArch) -> Vec<RoundEntry> {
+    let mut out = Vec::with_capacity(record.updates.len() + 3);
+    let mut push = |v: MetaValue| {
+        let key = v.keyed_for(job);
+        let blob = v.to_blob(model);
+        out.push(RoundEntry {
+            key,
+            value: v.into_shared(),
+            blob,
+        });
+    };
+    for u in &record.updates {
+        push(MetaValue::Update(u.clone()));
+    }
+    push(MetaValue::Aggregate(record.aggregate.clone()));
+    push(MetaValue::Hyper(record.hyperparams.clone()));
+    push(MetaValue::Metrics(record.metrics.clone()));
+    out
 }
 
 /// Flattens a [`RoundRecord`] into storable `(key, blob)` pairs: one blob
 /// per client update, plus the aggregate, hyperparameters, and metrics.
+/// Prefer [`round_entries`] when the decoded values are also needed.
 pub fn round_blobs(record: &RoundRecord, job: JobId, model: &ModelArch) -> Vec<(MetaKey, Blob)> {
-    let mut out = Vec::with_capacity(record.updates.len() + 3);
-    for u in &record.updates {
-        let v = MetaValue::Update(u.clone());
-        out.push((v.keyed_for(job), v.to_blob(model)));
-    }
-    let agg = MetaValue::Aggregate(record.aggregate.clone());
-    out.push((agg.keyed_for(job), agg.to_blob(model)));
-    let hyper = MetaValue::Hyper(record.hyperparams.clone());
-    out.push((hyper.keyed_for(job), hyper.to_blob(model)));
-    let metrics = MetaValue::Metrics(record.metrics.clone());
-    out.push((metrics.keyed_for(job), metrics.to_blob(model)));
-    out
+    round_entries(record, job, model)
+        .into_iter()
+        .map(|e| (e.key, e.blob))
+        .collect()
 }
 
 #[cfg(test)]

@@ -103,7 +103,11 @@ mod tests {
             global_loss: 1.0,
             global_accuracy: 0.6,
             training_round_secs: 120.0,
-            clients: vec![info(0, true, true), info(1, true, false), info(2, false, false)],
+            clients: vec![
+                info(0, true, true),
+                info(1, true, false),
+                info(2, false, false),
+            ],
         };
         assert!((m.dropout_rate() - 0.5).abs() < 1e-12);
         assert_eq!(m.completed_clients().count(), 1);

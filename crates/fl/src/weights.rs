@@ -160,7 +160,11 @@ impl WeightVector {
     /// `self * factor`.
     pub fn scale(&self, factor: f64) -> WeightVector {
         WeightVector {
-            values: self.values.iter().map(|v| (*v as f64 * factor) as f32).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| (*v as f64 * factor) as f32)
+                .collect(),
         }
     }
 

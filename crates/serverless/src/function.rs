@@ -131,7 +131,12 @@ pub struct FunctionInstance {
 }
 
 impl FunctionInstance {
-    pub(crate) fn new(id: FunctionId, config: FunctionConfig, now: SimTime, reclaim_at: SimTime) -> Self {
+    pub(crate) fn new(
+        id: FunctionId,
+        config: FunctionConfig,
+        now: SimTime,
+        reclaim_at: SimTime,
+    ) -> Self {
         FunctionInstance {
             id,
             config,
@@ -292,7 +297,8 @@ mod tests {
     fn store_and_capacity() {
         let mut f = inst(FunctionConfig::LARGE); // 4 GB, ~3.75 usable
         let k1 = ObjectKey::new("a");
-        f.store(k1.clone(), Blob::synthetic(ByteSize::from_gb(2))).expect("fits");
+        f.store(k1.clone(), Blob::synthetic(ByteSize::from_gb(2)))
+            .expect("fits");
         assert_eq!(f.mem_used(), ByteSize::from_gb(2));
         assert!(f.contains(&k1));
         let err = f
@@ -307,10 +313,12 @@ mod tests {
     fn replace_reuses_space() {
         let mut f = inst(FunctionConfig::LARGE);
         let k = ObjectKey::new("a");
-        f.store(k.clone(), Blob::synthetic(ByteSize::from_gb(3))).expect("fits");
+        f.store(k.clone(), Blob::synthetic(ByteSize::from_gb(3)))
+            .expect("fits");
         // Replacing a 3 GB object with a 3.5 GB one works because the old
         // space is reclaimed first.
-        f.store(k.clone(), Blob::synthetic(ByteSize::from_gb_f64(3.5))).expect("fits via replace");
+        f.store(k.clone(), Blob::synthetic(ByteSize::from_gb_f64(3.5)))
+            .expect("fits via replace");
         assert_eq!(f.mem_used(), ByteSize::from_gb_f64(3.5));
         assert_eq!(f.object_count(), 1);
     }
@@ -319,7 +327,8 @@ mod tests {
     fn evict_frees_memory() {
         let mut f = inst(FunctionConfig::SMALL);
         let k = ObjectKey::new("a");
-        f.store(k.clone(), Blob::synthetic(ByteSize::from_mb(500))).expect("fits");
+        f.store(k.clone(), Blob::synthetic(ByteSize::from_mb(500)))
+            .expect("fits");
         assert!(f.evict(&k));
         assert!(!f.evict(&k));
         assert_eq!(f.mem_used(), ByteSize::ZERO);
@@ -328,7 +337,8 @@ mod tests {
     #[test]
     fn reclaim_clears_state_and_bumps_generation() {
         let mut f = inst(FunctionConfig::LARGE);
-        f.store(ObjectKey::new("a"), Blob::synthetic(ByteSize::from_mb(100))).expect("fits");
+        f.store(ObjectKey::new("a"), Blob::synthetic(ByteSize::from_mb(100)))
+            .expect("fits");
         let t = SimTime::from_secs(100);
         f.reclaim(t, SimTime::MAX);
         assert_eq!(f.object_count(), 0);

@@ -266,7 +266,11 @@ impl Platform {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownFunction`] for unspawned ids.
-    pub fn refresh(&mut self, now: SimTime, id: FunctionId) -> Result<Option<ReclaimCause>, PlatformError> {
+    pub fn refresh(
+        &mut self,
+        now: SimTime,
+        id: FunctionId,
+    ) -> Result<Option<ReclaimCause>, PlatformError> {
         let cfg = self.cfg;
         let inst = self
             .instances
@@ -308,7 +312,11 @@ impl Platform {
             .ok_or(PlatformError::UnknownFunction(id))?;
 
         let service = work.duration_on(inst.config().compute_profile())
-            + if cold { cold_start_time } else { SimDuration::ZERO };
+            + if cold {
+                cold_start_time
+            } else {
+                SimDuration::ZERO
+            };
         let start = now.max(inst.busy_until());
         let end = start + service;
         inst.set_busy_until(end);
@@ -433,7 +441,9 @@ mod tests {
     fn first_invoke_pays_cold_start() {
         let mut p = quiet_platform();
         let id = p.spawn(SimTime::ZERO, FunctionConfig::LARGE);
-        let out = p.invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(1.0)).expect("spawned");
+        let out = p
+            .invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(1.0))
+            .expect("spawned");
         assert!(out.cold_start);
         assert!((out.receipt.latency.as_secs_f64() - 1.4).abs() < 1e-6);
         let warm = p
@@ -447,8 +457,12 @@ mod tests {
     fn busy_instance_queues() {
         let mut p = quiet_platform();
         let id = p.spawn(SimTime::ZERO, FunctionConfig::LARGE);
-        let a = p.invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(5.0)).expect("ok");
-        let b = p.invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(5.0)).expect("ok");
+        let a = p
+            .invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(5.0))
+            .expect("ok");
+        let b = p
+            .invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(5.0))
+            .expect("ok");
         assert!(b.queue_wait >= a.end.duration_since(SimTime::ZERO) - SimDuration::from_micros(1));
         assert!(b.start >= a.end);
     }
@@ -457,11 +471,18 @@ mod tests {
     fn idle_ttl_reclaims_unpinged_sandbox() {
         let mut p = quiet_platform();
         let id = p.spawn(SimTime::ZERO, FunctionConfig::LARGE);
-        p.store_object(SimTime::ZERO, id, ObjectKey::new("a"), Blob::synthetic(ByteSize::from_mb(100)))
-            .expect("fits");
+        p.store_object(
+            SimTime::ZERO,
+            id,
+            ObjectKey::new("a"),
+            Blob::synthetic(ByteSize::from_mb(100)),
+        )
+        .expect("fits");
         // 20 minutes later (> 10 min TTL) the state is gone.
         let late = SimTime::ZERO + SimDuration::from_mins(20);
-        let out = p.invoke(late, id, WorkUnits::from_ref_seconds(0.1)).expect("ok");
+        let out = p
+            .invoke(late, id, WorkUnits::from_ref_seconds(0.1))
+            .expect("ok");
         assert_eq!(out.state_lost, Some(ReclaimCause::IdleTimeout));
         assert!(out.cold_start);
         assert_eq!(p.instance(id).expect("exists").object_count(), 0);
@@ -471,12 +492,19 @@ mod tests {
     fn keepalive_prevents_idle_reclaim_and_bills() {
         let mut p = quiet_platform();
         let id = p.spawn(SimTime::ZERO, FunctionConfig::LARGE);
-        p.store_object(SimTime::ZERO, id, ObjectKey::new("a"), Blob::synthetic(ByteSize::from_mb(100)))
-            .expect("fits");
+        p.store_object(
+            SimTime::ZERO,
+            id,
+            ObjectKey::new("a"),
+            Blob::synthetic(ByteSize::from_mb(100)),
+        )
+        .expect("fits");
         let hour = SimTime::ZERO + SimDuration::from_hours(1);
         let reclaimed = p.run_keepalive(SimTime::ZERO, hour);
         assert!(reclaimed.is_empty());
-        let out = p.invoke(hour, id, WorkUnits::from_ref_seconds(0.1)).expect("ok");
+        let out = p
+            .invoke(hour, id, WorkUnits::from_ref_seconds(0.1))
+            .expect("ok");
         assert_eq!(out.state_lost, None);
         assert!(!out.cold_start);
         assert_eq!(p.instance(id).expect("exists").object_count(), 1);
@@ -514,7 +542,10 @@ mod tests {
         }
         let day = SimTime::ZERO + SimDuration::from_hours(24);
         let events = p.run_keepalive(SimTime::ZERO, day);
-        assert!(!events.is_empty(), "aggressive model should reclaim sandboxes");
+        assert!(
+            !events.is_empty(),
+            "aggressive model should reclaim sandboxes"
+        );
     }
 
     #[test]
@@ -522,7 +553,8 @@ mod tests {
         let mut p = quiet_platform();
         let missing = FunctionId::from_raw(999);
         assert_eq!(
-            p.invoke(SimTime::ZERO, missing, WorkUnits::ZERO).unwrap_err(),
+            p.invoke(SimTime::ZERO, missing, WorkUnits::ZERO)
+                .unwrap_err(),
             PlatformError::UnknownFunction(missing)
         );
     }
@@ -531,7 +563,8 @@ mod tests {
     fn billing_accumulates_gb_seconds() {
         let mut p = quiet_platform();
         let id = p.spawn(SimTime::ZERO, FunctionConfig::LARGE);
-        p.invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(2.6)).expect("ok");
+        p.invoke(SimTime::ZERO, id, WorkUnits::from_ref_seconds(2.6))
+            .expect("ok");
         // 4 GB * (2.6 s + 0.4 s cold start) = 12 GB-s.
         assert!((p.billing().gb_seconds - 12.0).abs() < 1e-6);
         assert_eq!(p.billing().invocations, 1);

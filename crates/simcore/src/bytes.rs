@@ -25,7 +25,9 @@ use serde::{Deserialize, Serialize};
 /// let round = model * 10; // ten client updates
 /// assert!((round.as_gb_f64() - 0.827).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 /// Bytes per decimal kilobyte.
@@ -232,7 +234,10 @@ mod tests {
         assert_eq!(ByteSize::from_kb(2).to_string(), "2.00kB");
         assert_eq!(ByteSize::from_mb_f64(82.7).to_string(), "82.70MB");
         assert_eq!(ByteSize::from_gb(79).to_string(), "79.00GB");
-        assert_eq!(ByteSize::from_bytes(1_500 * TB / 1_000).to_string(), "1.50TB");
+        assert_eq!(
+            ByteSize::from_bytes(1_500 * TB / 1_000).to_string(),
+            "1.50TB"
+        );
     }
 
     #[test]

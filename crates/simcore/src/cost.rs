@@ -307,7 +307,9 @@ mod tests {
         assert_eq!(Cost::ZERO.to_string(), "$0");
         assert_eq!(Cost::from_dollars(0.1234).to_string(), "$0.1234");
         assert_eq!(Cost::from_dollars(12.3).to_string(), "$12.30");
-        assert!(Cost::from_dollars(0.0000002).to_string().starts_with("$2.000e-7"));
+        assert!(Cost::from_dollars(0.0000002)
+            .to_string()
+            .starts_with("$2.000e-7"));
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl DetRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid uniform bounds [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.u01()
     }
 
@@ -107,7 +110,10 @@ impl DetRng {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         self.u01() < p
     }
 
@@ -119,7 +125,10 @@ impl DetRng {
     ///
     /// Panics if `rate` is not strictly positive.
     pub fn exponential(&mut self, rate: f64) -> f64 {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
         let u = self.u01();
         // 1 - u is in (0, 1], so the log is finite.
         -(1.0 - u).ln() / rate
@@ -134,7 +143,10 @@ impl DetRng {
     ///
     /// Panics unless `scale > 0` and `alpha > 0`.
     pub fn pareto(&mut self, scale: f64, alpha: f64) -> f64 {
-        assert!(scale > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            scale > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = self.u01();
         scale / (1.0 - u).powf(1.0 / alpha)
     }
@@ -153,7 +165,10 @@ impl DetRng {
     ///
     /// Panics if `std_dev` is negative or not finite.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev >= 0.0 && std_dev.is_finite(), "std dev must be non-negative");
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "std dev must be non-negative"
+        );
         mean + std_dev * self.standard_normal()
     }
 
@@ -168,7 +183,10 @@ impl DetRng {
     ///
     /// Panics if `weights` is empty, contains negatives, or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|w| {
@@ -291,7 +309,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf support must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -318,7 +339,10 @@ impl Zipf {
     /// Samples a rank in `1..=n`, rank 1 most popular.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.u01();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }
@@ -391,7 +415,10 @@ mod tests {
         let mut rng = DetRng::new(13);
         let p = rng.dirichlet(10, 0.05);
         let max = p.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 0.5, "low alpha should concentrate mass, max was {max}");
+        assert!(
+            max > 0.5,
+            "low alpha should concentrate mass, max was {max}"
+        );
     }
 
     #[test]

@@ -194,7 +194,10 @@ impl fmt::Display for Summary {
 /// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&q), "percentile must be in [0,100], got {q}");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile must be in [0,100], got {q}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

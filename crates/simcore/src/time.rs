@@ -37,7 +37,9 @@ const MICROS_PER_MILLI: u64 = 1_000;
 /// let later = start + SimDuration::from_secs(5);
 /// assert_eq!(later.duration_since(start), SimDuration::from_secs(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -168,7 +170,9 @@ impl Sub<SimTime> for SimTime {
 /// let compute = SimDuration::from_millis(300);
 /// assert_eq!((transfer + compute).as_secs_f64(), 1.8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

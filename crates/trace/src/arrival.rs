@@ -17,12 +17,7 @@ pub fn uniform_arrivals(start: SimTime, window: SimDuration, n: usize) -> Vec<Si
 /// `n` Poisson arrivals over `[start, start + window)` (exponential
 /// inter-arrival times rescaled to land exactly `n` arrivals inside the
 /// window), sorted ascending.
-pub fn poisson_arrivals(
-    seed: u64,
-    start: SimTime,
-    window: SimDuration,
-    n: usize,
-) -> Vec<SimTime> {
+pub fn poisson_arrivals(seed: u64, start: SimTime, window: SimDuration, n: usize) -> Vec<SimTime> {
     if n == 0 {
         return Vec::new();
     }

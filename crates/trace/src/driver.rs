@@ -26,8 +26,7 @@ pub trait ServingSystem {
     fn ingest_round(&mut self, now: SimTime, record: &RoundRecord);
 
     /// Serves a request; `None` when it cannot be served.
-    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest)
-        -> Option<RequestOutcome>;
+    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome>;
 
     /// Total cost over the window ending at `now` (requests + background +
     /// always-on infrastructure + storage).
@@ -47,11 +46,7 @@ impl ServingSystem for FlStore {
         FlStore::ingest_round(self, now, record);
     }
 
-    fn serve_request(
-        &mut self,
-        now: SimTime,
-        request: &WorkloadRequest,
-    ) -> Option<RequestOutcome> {
+    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome> {
         FlStore::serve(self, now, request).ok().map(|s| s.measured)
     }
 
@@ -76,11 +71,7 @@ impl ServingSystem for AggregatorBaseline {
         AggregatorBaseline::ingest_round(self, now, record);
     }
 
-    fn serve_request(
-        &mut self,
-        now: SimTime,
-        request: &WorkloadRequest,
-    ) -> Option<RequestOutcome> {
+    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome> {
         AggregatorBaseline::serve(self, now, request)
             .ok()
             .map(|(_, m)| m)
@@ -202,17 +193,16 @@ pub fn drive<S: ServingSystem>(
     job_cfg: &FlJobConfig,
     trace: &TraceConfig,
 ) -> DriveReport {
-    assert!(!trace.kinds.is_empty(), "trace needs at least one workload kind");
+    assert!(
+        !trace.kinds.is_empty(),
+        "trace needs at least one workload kind"
+    );
     let mut sim = FlJobSim::new(job_cfg.clone());
     let mut rng = DetRng::stream(trace.seed, "trace-targets");
 
     let round_interval = trace.window.div_u64(u64::from(job_cfg.rounds.max(1)));
-    let arrivals = crate::arrival::poisson_arrivals(
-        trace.seed,
-        SimTime::ZERO,
-        trace.window,
-        trace.requests,
-    );
+    let arrivals =
+        crate::arrival::poisson_arrivals(trace.seed, SimTime::ZERO, trace.window, trace.requests);
 
     let mut outcomes = Vec::with_capacity(trace.requests);
     let mut errors = 0usize;
@@ -308,7 +298,11 @@ mod tests {
         let mut store = flstore(&job);
         let report = drive(&mut store, &job, &TraceConfig::smoke(5));
         assert_eq!(report.label, "FLStore");
-        assert!(report.outcomes.len() >= 35, "served {}", report.outcomes.len());
+        assert!(
+            report.outcomes.len() >= 35,
+            "served {}",
+            report.outcomes.len()
+        );
         assert!(report.hit_rate() > 0.8, "hit rate {}", report.hit_rate());
         assert!(report.total_cost.total().as_dollars() > 0.0);
     }
@@ -359,8 +353,16 @@ mod tests {
         let ra = drive(&mut a, &job, &trace);
         let rb = drive(&mut b, &job, &trace);
         assert_eq!(ra.outcomes.len(), rb.outcomes.len());
-        let la: Vec<f64> = ra.outcomes.iter().map(|o| o.latency.total().as_secs_f64()).collect();
-        let lb: Vec<f64> = rb.outcomes.iter().map(|o| o.latency.total().as_secs_f64()).collect();
+        let la: Vec<f64> = ra
+            .outcomes
+            .iter()
+            .map(|o| o.latency.total().as_secs_f64())
+            .collect();
+        let lb: Vec<f64> = rb
+            .outcomes
+            .iter()
+            .map(|o| o.latency.total().as_secs_f64())
+            .collect();
         assert_eq!(la, lb);
     }
 }

@@ -28,7 +28,12 @@ pub struct KMeansResult {
 /// # Panics
 ///
 /// Panics if input vectors disagree in dimensionality.
-pub fn kmeans(vectors: &[&WeightVector], k: usize, max_iters: usize, seed: u64) -> Option<KMeansResult> {
+pub fn kmeans(
+    vectors: &[&WeightVector],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> Option<KMeansResult> {
     if vectors.is_empty() || k == 0 {
         return None;
     }
@@ -172,7 +177,13 @@ pub fn ewma(history: &[f64], alpha: f64) -> Option<f64> {
 mod tests {
     use super::*;
 
-    fn make_blobs(k: usize, per: usize, dim: usize, spread: f64, seed: u64) -> (Vec<WeightVector>, Vec<usize>) {
+    fn make_blobs(
+        k: usize,
+        per: usize,
+        dim: usize,
+        spread: f64,
+        seed: u64,
+    ) -> (Vec<WeightVector>, Vec<usize>) {
         let mut rng = DetRng::new(seed);
         let centers: Vec<WeightVector> = (0..k)
             .map(|_| WeightVector::gaussian(&mut rng, dim, 5.0))

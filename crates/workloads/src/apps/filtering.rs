@@ -70,8 +70,14 @@ mod tests {
         let detected = true_pos + false_neg;
         assert!(detected > 0, "no malicious participants sampled");
         let recall = true_pos as f64 / detected as f64;
-        assert!(recall > 0.7, "recall {recall} (tp {true_pos}, fn {false_neg})");
-        assert!(false_pos <= detected, "too many false positives: {false_pos}");
+        assert!(
+            recall > 0.7,
+            "recall {recall} (tp {true_pos}, fn {false_neg})"
+        );
+        assert!(
+            false_pos <= detected,
+            "too many false positives: {false_pos}"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ mod tests {
         let updates: Vec<&ModelUpdate> = last.updates.iter().collect();
         let out = run(&updates, 3, 1).expect("non-empty");
         assert_eq!(out.groups.len(), updates.len());
-        assert!(out.groups.iter().all(|(_, g)| *g < out.group_accuracy.len()));
+        assert!(out
+            .groups
+            .iter()
+            .all(|(_, g)| *g < out.group_accuracy.len()));
     }
 
     #[test]

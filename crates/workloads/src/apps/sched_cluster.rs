@@ -68,11 +68,7 @@ mod tests {
                 .map(|u| u.metrics.train_time_s + u.metrics.upload_time_s)
                 .expect("participant")
         };
-        let max_selected = out
-            .selected
-            .iter()
-            .map(|c| latency(*c))
-            .fold(0.0, f64::max);
+        let max_selected = out.selected.iter().map(|c| latency(*c)).fold(0.0, f64::max);
         let min_unselected = out
             .tiers
             .iter()

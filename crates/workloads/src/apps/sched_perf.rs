@@ -71,7 +71,13 @@ mod tests {
     #[test]
     fn selects_k_available_clients() {
         let rounds = sample_rounds(10, 0.0);
-        let window: Vec<&RoundMetrics> = rounds.iter().rev().take(5).rev().map(|r| &r.metrics).collect();
+        let window: Vec<&RoundMetrics> = rounds
+            .iter()
+            .rev()
+            .take(5)
+            .rev()
+            .map(|r| &r.metrics)
+            .collect();
         let out = run(&window, 5).expect("non-empty");
         assert!(out.selected.len() <= 5);
         let latest = window.last().expect("window");

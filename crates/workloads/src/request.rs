@@ -283,7 +283,10 @@ mod tests {
         );
         let needs = catalog.data_needs(&req);
         assert_eq!(needs.len(), records[1].updates.len() + 1);
-        let updates = needs.iter().filter(|k| k.kind == MetaKind::ClientUpdate).count();
+        let updates = needs
+            .iter()
+            .filter(|k| k.kind == MetaKind::ClientUpdate)
+            .count();
         assert_eq!(updates, records[1].updates.len());
     }
 
@@ -302,7 +305,10 @@ mod tests {
         let needs = catalog.data_needs(&req);
         // One aggregate per window round, plus updates only where the client
         // participated.
-        let aggs = needs.iter().filter(|k| k.kind == MetaKind::Aggregate).count();
+        let aggs = needs
+            .iter()
+            .filter(|k| k.kind == MetaKind::Aggregate)
+            .count();
         assert_eq!(aggs, DEFAULT_P3_WINDOW as usize);
         for k in &needs {
             if k.kind == MetaKind::ClientUpdate {
@@ -324,10 +330,9 @@ mod tests {
         assert_eq!(req.window, DEFAULT_P4_READ_WINDOW);
         let needs = catalog.data_needs(&req);
         assert_eq!(needs.len(), 2 * DEFAULT_P4_READ_WINDOW as usize);
-        assert!(needs.iter().all(|k| matches!(
-            k.kind,
-            MetaKind::RoundMetrics | MetaKind::HyperParams
-        )));
+        assert!(needs
+            .iter()
+            .all(|k| matches!(k.kind, MetaKind::RoundMetrics | MetaKind::HyperParams)));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! after fetching the same values across the network. Identical inputs,
 //! identical outputs; only latency and cost differ.
 
+use std::borrow::Borrow;
 use std::error::Error;
 use std::fmt;
 
@@ -68,7 +69,7 @@ struct SplitValues<'a> {
     hypers: Vec<&'a HyperParams>,
 }
 
-fn split(values: &[MetaValue]) -> SplitValues<'_> {
+fn split<V: Borrow<MetaValue>>(values: &[V]) -> SplitValues<'_> {
     let mut s = SplitValues {
         updates: Vec::new(),
         aggregates: Vec::new(),
@@ -76,7 +77,7 @@ fn split(values: &[MetaValue]) -> SplitValues<'_> {
         hypers: Vec::new(),
     };
     for v in values {
-        match v {
+        match v.borrow() {
             MetaValue::Update(u) => s.updates.push(u),
             MetaValue::Aggregate(a) => s.aggregates.push(a),
             MetaValue::Metrics(m) => s.metrics.push(m),
@@ -95,6 +96,12 @@ fn missing(kind: WorkloadKind, what: &'static str) -> WorkloadError {
 
 /// Executes `request` over the fetched `values`.
 ///
+/// Generic over how the caller holds its metadata: plain `MetaValue`s
+/// (baseline fetch-and-decode) and shared `Arc<MetaValue>` handles from a
+/// decoded-value cache (`flstore_fl::decoded::DecodedCache`) both satisfy
+/// `Borrow<MetaValue>`, so every serving system feeds the same dispatch
+/// without copying or re-parsing.
+///
 /// `model_scale` is the job model's compute scale
 /// ([`flstore_fl::zoo::ModelArch::compute_scale`]); randomized workloads
 /// derive their seed from the request id, so identical requests produce
@@ -104,9 +111,9 @@ fn missing(kind: WorkloadKind, what: &'static str) -> WorkloadError {
 ///
 /// Returns [`WorkloadError::MissingInput`] when `values` lacks the inputs
 /// Table 1 prescribes for the workload class.
-pub fn execute(
+pub fn execute<V: Borrow<MetaValue>>(
     request: &WorkloadRequest,
-    values: &[MetaValue],
+    values: &[V],
     model_scale: f64,
 ) -> Result<WorkloadOutcome, WorkloadError> {
     let kind = request.kind;
@@ -154,13 +161,17 @@ pub fn execute(
             .map(WorkloadOutput::SchedPerf)
             .ok_or_else(|| missing(kind, "round metrics window"))?,
         WorkloadKind::ReputationCalc => {
-            let client = request.client.ok_or_else(|| missing(kind, "target client"))?;
+            let client = request
+                .client
+                .ok_or_else(|| missing(kind, "target client"))?;
             apps::reputation::run(client, &s.updates, &s.aggregates)
                 .map(WorkloadOutput::Reputation)
                 .ok_or_else(|| missing(kind, "client updates across rounds"))?
         }
         WorkloadKind::Debugging => {
-            let client = request.client.ok_or_else(|| missing(kind, "target client"))?;
+            let client = request
+                .client
+                .ok_or_else(|| missing(kind, "target client"))?;
             apps::debugging::run(client, &s.updates, &s.aggregates)
                 .map(WorkloadOutput::Debugging)
                 .ok_or_else(|| missing(kind, "client updates across rounds"))?
@@ -206,10 +217,7 @@ mod tests {
         };
         let request = WorkloadRequest::new(RequestId::new(7), kind, job, last.round, client);
         let keys = catalog.data_needs(&request);
-        let values = keys
-            .iter()
-            .filter_map(|k| lookup(records, k))
-            .collect();
+        let values = keys.iter().filter_map(|k| lookup(records, k)).collect();
         (request, values)
     }
 
@@ -218,8 +226,8 @@ mod tests {
         let records = sample_rounds(12, 0.2);
         for kind in WorkloadKind::ALL {
             let (request, values) = values_for(kind, &records);
-            let outcome = execute(&request, &values, 1.0)
-                .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+            let outcome =
+                execute(&request, &values, 1.0).unwrap_or_else(|e| panic!("{kind} failed: {e}"));
             assert!(outcome.work.as_ref_seconds() > 0.0, "{kind} has zero work");
             assert!(outcome.result_bytes > ByteSize::ZERO);
         }
@@ -241,7 +249,7 @@ mod tests {
     fn empty_values_error_cleanly() {
         let records = sample_rounds(3, 0.0);
         let (request, _) = values_for(WorkloadKind::MaliciousFiltering, &records);
-        let err = execute(&request, &[], 1.0).unwrap_err();
+        let err = execute::<MetaValue>(&request, &[], 1.0).unwrap_err();
         assert!(matches!(err, WorkloadError::MissingInput { .. }));
         assert!(err.to_string().contains("Malicious Filtering"));
     }

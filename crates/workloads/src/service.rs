@@ -7,11 +7,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::request::RequestId;
+use crate::taxonomy::WorkloadKind;
 use flstore_sim::cost::CostBreakdown;
 use flstore_sim::latency::LatencyBreakdown;
 use flstore_sim::time::SimTime;
-use crate::request::RequestId;
-use crate::taxonomy::WorkloadKind;
 
 /// The measured result of serving one non-training request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -133,7 +133,13 @@ mod tests {
     use flstore_sim::cost::Cost;
     use flstore_sim::time::SimDuration;
 
-    fn outcome(kind: WorkloadKind, secs: f64, dollars: f64, hits: usize, misses: usize) -> RequestOutcome {
+    fn outcome(
+        kind: WorkloadKind,
+        secs: f64,
+        dollars: f64,
+        hits: usize,
+        misses: usize,
+    ) -> RequestOutcome {
         RequestOutcome {
             request: RequestId::new(0),
             kind,
@@ -150,8 +156,12 @@ mod tests {
     #[test]
     fn ledger_aggregates() {
         let mut ledger = ServiceLedger::new();
-        ledger.outcomes.push(outcome(WorkloadKind::Inference, 1.0, 0.001, 9, 1));
-        ledger.outcomes.push(outcome(WorkloadKind::Clustering, 6.0, 0.002, 10, 0));
+        ledger
+            .outcomes
+            .push(outcome(WorkloadKind::Inference, 1.0, 0.001, 9, 1));
+        ledger
+            .outcomes
+            .push(outcome(WorkloadKind::Clustering, 6.0, 0.002, 10, 0));
         ledger.background_cost += CostBreakdown::compute_only(Cost::from_dollars(0.01));
         assert_eq!(ledger.len(), 2);
         assert_eq!(ledger.hits(), 19);

@@ -147,9 +147,7 @@ impl WorkloadKind {
     /// Total compute demand for `items` input objects of a model with the
     /// given compute scale (see `ModelArch::compute_scale`).
     pub fn work_units(self, items: usize, model_scale: f64) -> WorkUnits {
-        WorkUnits::from_ref_seconds(
-            self.ref_seconds_per_item() * items.max(1) as f64 * model_scale,
-        )
+        WorkUnits::from_ref_seconds(self.ref_seconds_per_item() * items.max(1) as f64 * model_scale)
     }
 }
 

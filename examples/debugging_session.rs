@@ -57,7 +57,10 @@ fn main() {
     let WorkloadOutput::Filtering(filtering) = &served.outcome.output else {
         unreachable!("filtering request returns filtering output");
     };
-    println!("round {}: flagged clients {:?}", last.round, filtering.flagged);
+    println!(
+        "round {}: flagged clients {:?}",
+        last.round, filtering.flagged
+    );
 
     let Some(&suspect) = filtering.flagged.first() else {
         println!("no suspect this round — rerun with another seed");
@@ -66,7 +69,10 @@ fn main() {
 
     // Rewind the suspect across rounds (P3: first query misses old rounds,
     // the tailored policy then tracks the client).
-    for (i, label) in ["first trace (cold)", "second trace (tracked)"].iter().enumerate() {
+    for (i, label) in ["first trace (cold)", "second trace (tracked)"]
+        .iter()
+        .enumerate()
+    {
         let request = WorkloadRequest::new(
             RequestId::new(10 + i as u64),
             WorkloadKind::Debugging,

@@ -30,8 +30,11 @@ trait Strategy {
     /// Called after each aggregation with the full round record.
     fn on_round_complete(&mut self, now: SimTime, record: &RoundRecord);
     /// Called when an operator issues a non-training query.
-    fn on_operator_query(&mut self, now: SimTime, request: &WorkloadRequest)
-        -> Option<ServedRequest>;
+    fn on_operator_query(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+    ) -> Option<ServedRequest>;
 }
 
 /// The FLStore sidecar: the entire integration is two method calls.
@@ -86,7 +89,10 @@ fn main() {
         clock: SimTime::ZERO,
     };
 
-    println!("training {} rounds with the FLStore sidecar attached...", job.rounds);
+    println!(
+        "training {} rounds with the FLStore sidecar attached...",
+        job.rounds
+    );
     let records = framework.run_training(job.clone());
     let last = records.last().expect("trained");
 

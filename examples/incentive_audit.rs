@@ -102,7 +102,10 @@ fn main() {
     let base_cost = baseline.total_cost(week_later);
     println!("\ncost of one week of post-training audit availability:");
     println!("  FLStore   : {}", fl_cost.total());
-    println!("  Cache-Agg : {} (aggregator + cache cluster stay up)", base_cost.total());
+    println!(
+        "  Cache-Agg : {} (aggregator + cache cluster stay up)",
+        base_cost.total()
+    );
     println!(
         "  reduction : {:.1}%",
         flstore_suite::sim::stats::reduction_pct(

@@ -24,7 +24,12 @@ fn main() {
     };
     println!(
         "job: {} | model {} ({:.1} MB) | {} clients, {}/round, {} rounds\n",
-        job.job, job.model.name, job.model.size_mb, job.total_clients, job.clients_per_round, job.rounds
+        job.job,
+        job.model.name,
+        job.model.size_mb,
+        job.total_clients,
+        job.clients_per_round,
+        job.rounds
     );
 
     // FLStore and the ObjStore-Agg baseline ingest the same rounds.
@@ -34,8 +39,12 @@ fn main() {
         job.job,
         job.model,
     );
-    let mut baseline =
-        AggregatorBaseline::new(AggregatorConfig::objstore_agg(), job.job, job.model, SimTime::ZERO);
+    let mut baseline = AggregatorBaseline::new(
+        AggregatorConfig::objstore_agg(),
+        job.job,
+        job.model,
+        SimTime::ZERO,
+    );
 
     let mut now = SimTime::ZERO;
     let mut last_record = None;

@@ -1,16 +1,34 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the FLStore reproduction workspace.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [--skip-smoke]
 #
-# Runs, in order:
-#   1. cargo build --release        (whole workspace, via default-members)
-#   2. cargo test -q                (unit + property + integration + doctests)
-#   3. cargo build --benches        (Criterion benches compile; not executed)
-#   4. cargo clippy --all-targets   (NON-BLOCKING: reported, never fails the run)
-set -uo pipefail
+# Runs the SAME steps as .github/workflows/ci.yml, in the same order, so
+# local verify and CI cannot drift:
+#   1. cargo build --release                   (tier1: whole workspace)
+#   2. cargo test -q                           (tier1: unit + property + integration + doctests)
+#   3. cargo build --benches                   (tier1: Criterion benches compile)
+#   4. cargo clippy --all-targets -D warnings  (lint: BLOCKING, like CI)
+#   5. cargo fmt --check                       (lint: BLOCKING, like CI)
+#   6. figures smoke: every experiment id end-to-end at --fast scale into
+#      results-smoke/ (so full-scale results/ are never clobbered), then
+#      scripts/check_figures_outputs.sh — the same check CI runs.
+#      Skip with --skip-smoke for a quick edit-compile loop.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+skip_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-smoke) skip_smoke=1 ;;
+        *)
+            echo "unknown argument: $arg" >&2
+            echo "usage: scripts/verify.sh [--skip-smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 run() {
     echo
@@ -18,18 +36,24 @@ run() {
     "$@"
 }
 
-set -e
 run cargo build --release
 run cargo test -q
 run cargo build --benches
-set +e
+run cargo clippy -q --all-targets -- -D warnings
+run cargo fmt --check
 
-echo
-echo "==> cargo clippy -q --all-targets (non-blocking)"
-if cargo clippy -q --all-targets 2>&1 | tail -n 40; then
-    echo "clippy: clean (or warnings above)"
+if [ "$skip_smoke" -eq 0 ]; then
+    # Smoke outputs go to their own directory so this run can neither be
+    # satisfied by stale files nor clobber full-scale results/ the
+    # developer may have spent minutes generating. (CI uses the default
+    # results/ from a fresh checkout.)
+    export FLSTORE_RESULTS_DIR=results-smoke
+    rm -rf results-smoke
+    run cargo run --release --bin figures -- all --fast
+    run scripts/check_figures_outputs.sh results-smoke
 else
-    echo "clippy: reported issues above (non-blocking)"
+    echo
+    echo "==> figures smoke SKIPPED (--skip-smoke); CI always runs it"
 fi
 
 echo

@@ -50,11 +50,20 @@ fn flstore_wins_on_latency_and_cost() {
     // Paper §5.2: 71% avg reduction vs ObjStore-Agg, 64.66% vs Cache-Agg.
     let vs_obj = reduction_pct(obj_lat, fl_lat);
     let vs_mem = reduction_pct(mem_lat, fl_lat);
-    assert!(vs_obj > 40.0, "latency reduction vs ObjStore-Agg: {vs_obj:.1}%");
-    assert!(vs_mem > 30.0, "latency reduction vs Cache-Agg: {vs_mem:.1}%");
+    assert!(
+        vs_obj > 40.0,
+        "latency reduction vs ObjStore-Agg: {vs_obj:.1}%"
+    );
+    assert!(
+        vs_mem > 30.0,
+        "latency reduction vs Cache-Agg: {vs_mem:.1}%"
+    );
 
     // Cache-Agg sits between FLStore and ObjStore-Agg on latency.
-    assert!(mem_lat < obj_lat, "cache {mem_lat:.1}s vs objstore {obj_lat:.1}s");
+    assert!(
+        mem_lat < obj_lat,
+        "cache {mem_lat:.1}s vs objstore {obj_lat:.1}s"
+    );
 
     // Paper §5.3: ~88-92% cost reduction vs ObjStore-Agg, ~99% vs Cache-Agg
     // (per request, always-on infrastructure amortized).
@@ -63,11 +72,20 @@ fn flstore_wins_on_latency_and_cost() {
     let mem_cost = mem.amortized_cost_summary().expect("served").mean;
     let cost_vs_obj = reduction_pct(obj_cost, fl_cost);
     let cost_vs_mem = reduction_pct(mem_cost, fl_cost);
-    assert!(cost_vs_obj > 70.0, "cost reduction vs ObjStore-Agg: {cost_vs_obj:.1}%");
-    assert!(cost_vs_mem > 90.0, "cost reduction vs Cache-Agg: {cost_vs_mem:.1}%");
+    assert!(
+        cost_vs_obj > 70.0,
+        "cost reduction vs ObjStore-Agg: {cost_vs_obj:.1}%"
+    );
+    assert!(
+        cost_vs_mem > 90.0,
+        "cost reduction vs Cache-Agg: {cost_vs_mem:.1}%"
+    );
 
     // Cloud caches cost more than object stores (paper §5.3.2).
-    assert!(mem_cost > obj_cost, "cache ${mem_cost:.4} vs objstore ${obj_cost:.4}");
+    assert!(
+        mem_cost > obj_cost,
+        "cache ${mem_cost:.4} vs objstore ${obj_cost:.4}"
+    );
 }
 
 #[test]
@@ -85,7 +103,11 @@ fn objstore_agg_is_communication_bound() {
         .sum();
     // Paper §5.2.1: communication ≈ 98.9% of ObjStore-Agg latency; at test
     // scale (smaller model, fewer clients) it is still dominant.
-    assert!(comm / total > 0.8, "communication share {:.3}", comm / total);
+    assert!(
+        comm / total > 0.8,
+        "communication share {:.3}",
+        comm / total
+    );
 }
 
 #[test]
@@ -114,5 +136,9 @@ fn hit_rates_tell_the_story() {
     // ObjStore-Agg always crosses to the object store.
     assert_eq!(obj.hit_rate(), 0.0);
     // Cache-Agg holds the working set, so it hits — it is just expensive.
-    assert!(mem.hit_rate() > 0.9, "Cache-Agg hit rate {}", mem.hit_rate());
+    assert!(
+        mem.hit_rate() > 0.9,
+        "Cache-Agg hit rate {}",
+        mem.hit_rate()
+    );
 }

@@ -47,7 +47,10 @@ fn facade_ingest_then_serve_hits_cache() {
         served.measured.cache_misses, 0,
         "tailored policy must keep the latest aggregate warm"
     );
-    assert!(served.measured.cache_hits > 0, "inference needs cached data");
+    assert!(
+        served.measured.cache_hits > 0,
+        "inference needs cached data"
+    );
     assert!(served.measured.finished >= served.measured.arrived);
 
     // P2: a round-scoped workload over all updates of the final round.
@@ -58,7 +61,9 @@ fn facade_ingest_then_serve_hits_cache() {
         last_round,
         None,
     );
-    let served = store.serve(now, &filtering).expect("round updates resolvable");
+    let served = store
+        .serve(now, &filtering)
+        .expect("round updates resolvable");
     assert!(
         served.measured.hit_rate() > 0.5,
         "most of the final round should be cached, hit rate was {}",

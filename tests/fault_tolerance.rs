@@ -49,7 +49,10 @@ fn faults_actually_fire() {
         ..TraceConfig::smoke(17)
     };
     let _ = drive(&mut store, &job, &trace);
-    assert!(store.faults_observed() > 0, "fault injection must reclaim sandboxes");
+    assert!(
+        store.faults_observed() > 0,
+        "fault injection must reclaim sandboxes"
+    );
 }
 
 #[test]
@@ -57,7 +60,8 @@ fn replicas_reduce_misses_under_faults() {
     let fi1 = run_with_replicas(1);
     let fi3 = run_with_replicas(3);
     assert!(!fi1.outcomes.is_empty() && !fi3.outcomes.is_empty());
-    let misses = |r: &DriveReport| -> u64 { r.outcomes.iter().map(|o| o.cache_misses as u64).sum() };
+    let misses =
+        |r: &DriveReport| -> u64 { r.outcomes.iter().map(|o| o.cache_misses as u64).sum() };
     assert!(
         misses(&fi3) <= misses(&fi1),
         "3 replicas should not miss more than 1: {} vs {}",

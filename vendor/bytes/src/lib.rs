@@ -1,48 +1,128 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! [`Bytes`] is a cheaply cloneable, immutable byte buffer backed by
-//! `Arc<[u8]>`; [`BytesMut`] is a growable buffer that freezes into one.
-//! Only the API surface this workspace uses is provided.
+//! [`Bytes`] is a cheaply cloneable, immutable byte buffer: a refcounted
+//! (or `'static`-borrowed) storage plus an `(offset, len)` view into it.
+//! `from_static`, `clone`, and `slice` never copy the underlying buffer —
+//! matching the upstream crate's zero-copy semantics. [`BytesMut`] is a
+//! growable buffer that freezes into one. Only the API surface this
+//! workspace uses is provided.
 
 use std::fmt;
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
+/// Backing storage of a [`Bytes`] view.
+#[derive(Clone)]
+enum Storage {
+    /// A `'static` slice, borrowed for the program's lifetime (no copy,
+    /// no refcount).
+    Static(&'static [u8]),
+    /// A shared heap buffer; clones bump the refcount.
+    Shared(Arc<[u8]>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Static(s) => s,
+            Storage::Shared(a) => a,
+        }
+    }
+}
+
+/// An immutable, cheaply cloneable byte buffer.
+///
+/// Clones and subslices share one backing buffer; only the view bounds
+/// differ. Two views are `==` when their visible bytes match, regardless
+/// of backing identity.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    storage: Storage,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (no allocation).
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes::from_static(&[])
     }
 
-    /// Wraps a static byte slice (copied; lifetimes are not tracked).
+    /// Borrows a static byte slice for the program's lifetime. Zero-copy:
+    /// the returned buffer points at `bytes` itself.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            storage: Storage::Static(bytes),
+            offset: 0,
+            len: bytes.len(),
+        }
     }
 
-    /// Copies a slice into a new buffer.
+    /// Copies a slice into a new shared buffer.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            len: bytes.len(),
+            storage: Storage::Shared(Arc::from(bytes)),
+            offset: 0,
+        }
     }
 
-    /// Length in bytes.
+    /// Length in bytes of this view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
-    /// True when empty.
+    /// True when the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Copies the contents into a `Vec<u8>`.
+    /// Copies the visible contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a zero-copy subslice of this view: the result shares the
+    /// backing buffer (refcounted for heap storage, borrowed for static).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside `0..=len` or is inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            storage: self.storage.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// True when `self` and `other` are views into the same backing buffer
+    /// with identical bounds — i.e. they are literally the same bytes in
+    /// memory, not merely equal contents.
+    pub fn ptr_eq(&self, other: &Bytes) -> bool {
+        std::ptr::eq(
+            self.as_slice() as *const [u8],
+            other.as_slice() as *const [u8],
+        )
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.storage.as_slice()[self.offset..self.offset + self.len]
     }
 }
 
@@ -56,19 +136,19 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -76,7 +156,7 @@ impl Eq for Bytes {}
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
@@ -88,7 +168,11 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            len: v.len(),
+            storage: Storage::Shared(Arc::from(v.into_boxed_slice())),
+            offset: 0,
+        }
     }
 }
 
@@ -112,7 +196,9 @@ impl BytesMut {
 
     /// An empty buffer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends a slice.
@@ -130,7 +216,8 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Converts into an immutable [`Bytes`] (takes over the allocation; no
+    /// copy beyond `Vec`'s shrink-to-fit move).
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -163,5 +250,69 @@ mod tests {
         assert_eq!(frozen, Bytes::from_static(b"abc"));
         assert_eq!(frozen.clone(), frozen);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn from_static_borrows_without_copying() {
+        static PAYLOAD: &[u8] = b"zero-copy static payload";
+        let b = Bytes::from_static(PAYLOAD);
+        // The view points at the static data itself — no buffer was
+        // allocated or copied.
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), PAYLOAD.as_ptr()));
+        let c = b.clone();
+        assert!(b.ptr_eq(&c));
+    }
+
+    #[test]
+    fn clone_shares_heap_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(b"hello world".to_vec());
+        let hello = a.slice(0..5);
+        let world = a.slice(6..);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        // Subslices point into the parent's buffer.
+        assert!(std::ptr::eq(hello.as_ref().as_ptr(), a.as_ref().as_ptr()));
+        assert!(std::ptr::eq(world.as_ref().as_ptr(), unsafe {
+            a.as_ref().as_ptr().add(6)
+        }));
+        // Slicing a slice composes offsets.
+        let ell = hello.slice(1..4);
+        assert_eq!(&ell[..], b"ell");
+        // Full-range slice is ptr-identical to the original.
+        assert!(a.slice(..).ptr_eq(&a));
+    }
+
+    #[test]
+    fn slice_of_static_is_zero_copy() {
+        static PAYLOAD: &[u8] = b"0123456789";
+        let a = Bytes::from_static(PAYLOAD);
+        let mid = a.slice(2..=5);
+        assert_eq!(&mid[..], b"2345");
+        assert!(std::ptr::eq(mid.as_ref().as_ptr(), unsafe {
+            PAYLOAD.as_ptr().add(2)
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from_static(b"abc");
+        let _ = a.slice(1..5);
+    }
+
+    #[test]
+    fn equality_is_by_contents_not_identity() {
+        let a = Bytes::from(b"same".to_vec());
+        let b = Bytes::copy_from_slice(b"same");
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
     }
 }

@@ -25,7 +25,10 @@ impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("\ngroup: {name}");
-        BenchmarkGroup { group: name.to_string(), sample_size: self.sample_size }
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: self.sample_size,
+        }
     }
 
     /// Registers a stand-alone benchmark.
@@ -64,7 +67,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     // granularity does not dominate, capped to keep total runtime bounded.
     let mut iters = 1u64;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
             break;
@@ -75,14 +81,21 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     let mut best = f64::INFINITY;
     let mut total = 0.0;
     for _ in 0..sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let ns_per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
         best = best.min(ns_per_iter);
         total += ns_per_iter;
     }
     let mean = total / sample_size as f64;
-    println!("  {label:<40} mean {:>12} best {:>12} ({iters} iters/sample)", fmt_ns(mean), fmt_ns(best));
+    println!(
+        "  {label:<40} mean {:>12} best {:>12} ({iters} iters/sample)",
+        fmt_ns(mean),
+        fmt_ns(best)
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {

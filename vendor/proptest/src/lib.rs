@@ -35,7 +35,9 @@ impl TestRng {
             h ^= u64::from(*byte);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { inner: StdRng::seed_from_u64(h) }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
     }
 
     /// Next raw 64 bits.

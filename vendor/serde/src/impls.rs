@@ -125,7 +125,9 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, Error> {
-        value.as_bool().ok_or_else(|| Error::custom("expected bool"))
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected bool"))
     }
 }
 
@@ -137,7 +139,9 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn from_value(value: &Value) -> Result<Self, Error> {
-        let s = value.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),

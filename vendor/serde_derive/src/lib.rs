@@ -42,7 +42,9 @@ struct Item {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
 }
 
 /// Extracts `skip` / `default` flags from one `#[serde(...)]` attribute body.
@@ -102,7 +104,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 
     if let Some(TokenTree::Punct(p)) = tokens.peek() {
         if p.as_char() == '<' {
-            return Err(format!("generic type `{name}` is not supported by the offline serde derive"));
+            return Err(format!(
+                "generic type `{name}` is not supported by the offline serde derive"
+            ));
         }
     }
 
@@ -175,7 +179,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             }
         }
 
-        fields.push(Field { name, skip, default });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
 
     Ok(fields)
@@ -235,7 +243,9 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
                 tokens.next();
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                return Err(format!("variant `{name}`: struct variants are not supported"));
+                return Err(format!(
+                    "variant `{name}`: struct variants are not supported"
+                ));
             }
             _ => {}
         }
@@ -272,9 +282,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     f.name, f.name
                 ));
             }
-            format!(
-                "let mut __map = ::serde::Map::new();\n{inserts}::serde::Value::Object(__map)"
-            )
+            format!("let mut __map = ::serde::Map::new();\n{inserts}::serde::Value::Object(__map)")
         }
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
@@ -358,9 +366,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  ::std::result::Result::Ok({name} {{\n{inits}}})"
             )
         }
-        Shape::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
         Shape::Tuple(n) => {
             let elems: Vec<String> = (0..*n)
                 .map(|i| {

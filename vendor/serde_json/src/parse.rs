@@ -53,7 +53,10 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(value)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
