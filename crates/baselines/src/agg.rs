@@ -15,6 +15,7 @@ use flstore_cloud::blob::Blob;
 use flstore_cloud::memcache::{MemCache, MemCacheConfig};
 use flstore_cloud::objstore::{ObjectStore, ObjectStoreConfig};
 use flstore_cloud::vm::{VmInstance, VmType};
+use flstore_core::store::IngestReceipt;
 use flstore_fl::decoded::{DecodedCache, DecodedStats};
 use flstore_fl::ids::JobId;
 use flstore_fl::job::RoundRecord;
@@ -165,6 +166,11 @@ impl AggregatorBaseline {
         self.cfg.data_plane.label()
     }
 
+    /// Which data plane backs this baseline.
+    pub fn data_plane(&self) -> DataPlaneKind {
+        self.cfg.data_plane
+    }
+
     /// The serving ledger.
     pub fn ledger(&self) -> &ServiceLedger {
         &self.ledger
@@ -211,10 +217,18 @@ impl AggregatorBaseline {
     }
 
     /// Ingests a round: all metadata is stored in the data plane (and, for
-    /// Cache-Agg, written through to the backing object store).
-    pub fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
+    /// Cache-Agg, written through to the backing object store). The
+    /// receipt reports what the cache actually did: `cached` counts
+    /// objects that ended resident in the memcache cluster (0 for
+    /// ObjStore-Agg, fewer than `backed_up` when an undersized cluster
+    /// refuses oversized blobs), and `evicted` counts LRU victims shed to
+    /// make room.
+    pub fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) -> IngestReceipt {
+        let before_evictions = self.cache.as_ref().map_or(0, |c| c.stats().evictions);
         self.catalog.observe_round(record);
         let items = round_entries(record, self.catalog.job(), self.catalog.model());
+        let stored = items.len();
+        let okeys: Vec<_> = items.iter().map(|e| e.key.object_key()).collect();
         for e in items {
             let okey = e.key.object_key();
             let cost = self.objstore.put_async(now, okey.clone(), e.blob.clone());
@@ -226,6 +240,34 @@ impl AggregatorBaseline {
                 cache.set(now, okey, e.blob);
             }
         }
+        let cached = match &self.cache {
+            // What actually ended resident: an undersized cluster refuses
+            // oversized blobs and LRU-evicts earlier entries (possibly
+            // from this very round).
+            Some(cache) => okeys.iter().filter(|k| cache.contains(k)).count(),
+            None => 0,
+        };
+        let evicted =
+            (self.cache.as_ref().map_or(0, |c| c.stats().evictions) - before_evictions) as usize;
+        IngestReceipt {
+            cached,
+            evicted,
+            backed_up: stored,
+        }
+    }
+
+    /// Evicts `key` from the baseline's volatile layers (memcache entry,
+    /// decoded handle); the backing object store keeps its copy, exactly
+    /// like `FlStore::evict` keeps the persistent one. Returns whether any
+    /// layer actually held the key.
+    pub fn evict(&mut self, key: &flstore_fl::metadata::MetaKey) -> bool {
+        let mut dropped = false;
+        if let Some(cache) = &mut self.cache {
+            dropped |= cache.remove(&key.object_key());
+        }
+        let before = self.decoded.stats().invalidations;
+        self.decoded.invalidate(key);
+        dropped || self.decoded.stats().invalidations > before
     }
 
     /// Serves one non-training request: fetch inputs across the network from

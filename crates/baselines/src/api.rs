@@ -1,0 +1,196 @@
+//! The baselines behind the unified front door: [`Service`] for
+//! [`AggregatorBaseline`], so FLStore-vs-baseline comparisons drive every
+//! architecture through the same typed envelopes.
+
+use flstore_core::api::{ApiError, Request, Response, Service, StatsReport};
+use flstore_core::store::ServedRequest;
+use flstore_sim::cost::{Cost, CostBreakdown};
+use flstore_sim::time::SimTime;
+
+use crate::agg::AggregatorBaseline;
+use crate::error::BaselineError;
+
+impl From<BaselineError> for ApiError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::NoData { request } => ApiError::NoData { request },
+            BaselineError::Store(e) => ApiError::Store(e),
+            BaselineError::Workload(e) => ApiError::Workload(e),
+        }
+    }
+}
+
+impl Service for AggregatorBaseline {
+    fn label(&self) -> String {
+        AggregatorBaseline::label(self).to_string()
+    }
+
+    fn submit(&mut self, now: SimTime, request: Request) -> Response {
+        let own = self.catalog().job();
+        if let Some(job) = request.job() {
+            if job != own {
+                return Response::Rejected(ApiError::UnknownJob { job });
+            }
+        }
+        match request {
+            Request::Ingest { record, .. } => Response::Ingested(self.ingest_round(now, &record)),
+            Request::Serve(request) => match self.serve(now, &request) {
+                Ok((outcome, measured)) => {
+                    Response::Served(Box::new(ServedRequest { outcome, measured }))
+                }
+                Err(e) => Response::Rejected(e.into()),
+            },
+            Request::Evict(key) => Response::Evicted {
+                was_cached: self.evict(&key),
+            },
+            Request::Stats => Response::Stats(StatsReport::from_ledger(
+                Service::label(self),
+                self.ledger(),
+                0,
+            )),
+        }
+    }
+
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
+        self.total_cost(now)
+    }
+
+    fn infra_cost(&mut self, now: SimTime) -> Cost {
+        AggregatorBaseline::infra_cost(self, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregatorConfig;
+    use flstore_fl::ids::JobId;
+    use flstore_fl::job::{FlJobConfig, FlJobSim};
+    use flstore_fl::metadata::MetaKey;
+    use flstore_sim::time::SimDuration;
+    use flstore_workloads::request::{RequestId, WorkloadRequest};
+    use flstore_workloads::taxonomy::WorkloadKind;
+
+    fn loaded(
+        cfg_for: fn() -> AggregatorConfig,
+    ) -> (
+        AggregatorBaseline,
+        FlJobConfig,
+        Vec<flstore_fl::job::RoundRecord>,
+    ) {
+        let job = FlJobConfig {
+            rounds: 4,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        let mut agg = AggregatorBaseline::new(cfg_for(), job.job, job.model, SimTime::ZERO);
+        let records: Vec<_> = FlJobSim::new(job.clone()).collect();
+        let mut now = SimTime::ZERO;
+        for r in &records {
+            let response = agg.submit(
+                now,
+                Request::Ingest {
+                    job: job.job,
+                    record: std::sync::Arc::new(r.clone()),
+                },
+            );
+            assert!(matches!(response, Response::Ingested(r) if r.backed_up > 0));
+            now += SimDuration::from_secs(120);
+        }
+        (agg, job, records)
+    }
+
+    #[test]
+    fn baseline_serves_through_the_front_door() {
+        let (mut agg, job, records) = loaded(AggregatorConfig::objstore_agg);
+        let now = SimTime::from_secs(3600);
+        let request = WorkloadRequest::new(
+            RequestId::new(1),
+            WorkloadKind::MaliciousFiltering,
+            job.job,
+            records.last().expect("rounds").round,
+            None,
+        );
+        let response = agg.submit(now, Request::Serve(request));
+        let served = response.served().expect("served");
+        assert_eq!(served.measured.cache_hits, 0);
+
+        let Response::Stats(stats) = agg.submit(now, Request::Stats) else {
+            panic!("stats envelope answers with stats");
+        };
+        assert_eq!(stats.label, "ObjStore-Agg");
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.faults, 0);
+    }
+
+    #[test]
+    fn baseline_admission_rejects_foreign_jobs() {
+        let (mut agg, _, records) = loaded(AggregatorConfig::objstore_agg);
+        let round = records.last().expect("rounds").round;
+        let foreign = JobId::new(7);
+        let request = WorkloadRequest::new(
+            RequestId::new(1),
+            WorkloadKind::Inference,
+            foreign,
+            round,
+            None,
+        );
+        let response = agg.submit(SimTime::from_secs(3600), Request::Serve(request));
+        assert_eq!(
+            response.error(),
+            Some(&ApiError::UnknownJob { job: foreign })
+        );
+        assert!(agg.ledger().is_empty());
+    }
+
+    #[test]
+    fn undersized_cache_agg_receipt_reports_pressure() {
+        // A cluster smaller than one round's metadata must not claim every
+        // object ended resident: the receipt reflects refused blobs and
+        // LRU victims instead of hardcoding cached == backed_up.
+        use flstore_cloud::memcache::MemCacheConfig;
+        use flstore_cloud::pricing::CacheNodePricing;
+        use flstore_sim::bytes::ByteSize;
+
+        let job = FlJobConfig {
+            rounds: 1,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        let mut cfg = AggregatorConfig::cache_agg(job.round_metadata_bytes());
+        cfg.cache = Some(MemCacheConfig {
+            node: CacheNodePricing {
+                capacity: ByteSize::from_bytes(job.round_metadata_bytes().as_bytes() / 3),
+                per_node_hour: 1.0,
+            },
+            nodes: 1,
+            ..MemCacheConfig::default()
+        });
+        let mut tight = AggregatorBaseline::new(cfg, job.job, job.model, SimTime::ZERO);
+        let record = FlJobSim::new(job).next().expect("one round");
+        let receipt = tight.ingest_round(SimTime::ZERO, &record);
+        assert!(receipt.backed_up > 0);
+        assert!(
+            receipt.cached < receipt.backed_up,
+            "a third-of-a-round cluster cannot hold a full round ({} cached of {})",
+            receipt.cached,
+            receipt.backed_up
+        );
+        assert!(receipt.cached + receipt.evicted > 0, "something was set");
+    }
+
+    #[test]
+    fn cache_agg_eviction_is_visible_through_the_envelope() {
+        let (mut agg, job, records) =
+            loaded(|| AggregatorConfig::cache_agg(flstore_sim::bytes::ByteSize::from_gb(4)));
+        let round = records.last().expect("rounds").round;
+        let key = MetaKey::aggregate(job.job, round);
+        let now = SimTime::from_secs(3600);
+        assert_eq!(
+            agg.submit(now, Request::Evict(key)),
+            Response::Evicted { was_cached: true }
+        );
+        assert_eq!(
+            agg.submit(now, Request::Evict(key)),
+            Response::Evicted { was_cached: false }
+        );
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agg;
+pub mod api;
 pub mod error;
 
 pub use agg::{AggregatorBaseline, AggregatorConfig, DataPlaneKind};

@@ -1,0 +1,128 @@
+//! Criterion: batched vs sequential serving of same-replica-set requests
+//! (simulation-side CPU cost). The batched path pays the per-request
+//! liveness/refresh pass once per batch instead of once per request, so
+//! `serve_batch` of N cache hits targeting the same replica set should
+//! beat N sequential `serve` calls.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::api::{Request, Service};
+use flstore_core::policy::TailoredPolicy;
+use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::WorkloadKind;
+
+fn job() -> FlJobConfig {
+    FlJobConfig {
+        rounds: 10,
+        total_clients: 30,
+        clients_per_round: 10,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    }
+}
+
+fn loaded_store(job: &FlJobConfig, records: &[RoundRecord]) -> FlStore {
+    let cfg = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&job.model)
+    };
+    let mut store = FlStore::new(cfg, Box::new(TailoredPolicy::new()), job.job, job.model);
+    let mut now = SimTime::ZERO;
+    for r in records {
+        store.ingest_round(now, r);
+        now += SimDuration::from_secs(60);
+    }
+    store
+}
+
+/// `n` P2 requests of one kind against the latest round: every request
+/// needs the same keys, hence the same replica set — the batched liveness
+/// pass and placement walk cover all of them at once.
+fn p2_batch(
+    job: &FlJobConfig,
+    kind: WorkloadKind,
+    round: flstore_fl::ids::Round,
+    first_id: u64,
+    n: usize,
+) -> Vec<WorkloadRequest> {
+    (0..n as u64)
+        .map(|i| WorkloadRequest::new(RequestId::new(first_id + i), kind, job.job, round, None))
+        .collect()
+}
+
+fn bench_batch_serve(c: &mut Criterion) {
+    let job = job();
+    let records: Vec<RoundRecord> = FlJobSim::new(job.clone()).collect();
+    let round = records.last().expect("rounds").round;
+    let mut group = c.benchmark_group("batch_serve");
+    group.sample_size(20);
+
+    // Two P2 workloads over the same full-round key set: tier scheduling
+    // has a sub-µs kernel, so its serve cost is almost entirely the fixed
+    // front-door work batching amortizes; malicious filtering shows the
+    // same batch win diluted by a compute-heavy kernel.
+    let cases = [
+        ("sched", WorkloadKind::SchedulingCluster),
+        ("filter", WorkloadKind::MaliciousFiltering),
+    ];
+    for (tag, kind) in cases {
+        for n in [16usize, 64] {
+            group.bench_function(&format!("{tag}_sequential_x{n}"), |b| {
+                let mut store = loaded_store(&job, &records);
+                let mut now = SimTime::from_secs(3600);
+                let mut id = 0u64;
+                b.iter(|| {
+                    now += SimDuration::from_secs(60);
+                    let requests = p2_batch(&job, kind, round, id, n);
+                    id += n as u64;
+                    for request in &requests {
+                        black_box(store.serve(now, request).expect("servable"));
+                    }
+                });
+            });
+
+            group.bench_function(&format!("{tag}_batched_x{n}"), |b| {
+                let mut store = loaded_store(&job, &records);
+                let mut now = SimTime::from_secs(3600);
+                let mut id = 0u64;
+                b.iter(|| {
+                    now += SimDuration::from_secs(60);
+                    let requests = p2_batch(&job, kind, round, id, n);
+                    id += n as u64;
+                    for served in store.serve_batch(now, &requests) {
+                        black_box(served.expect("servable"));
+                    }
+                });
+            });
+
+            // The same comparison through the typed front door (envelope
+            // construction + routing included).
+            group.bench_function(&format!("{tag}_front_door_batched_x{n}"), |b| {
+                let mut store = loaded_store(&job, &records);
+                let mut now = SimTime::from_secs(3600);
+                let mut id = 0u64;
+                b.iter(|| {
+                    now += SimDuration::from_secs(60);
+                    let requests: Vec<Request> = p2_batch(&job, kind, round, id, n)
+                        .into_iter()
+                        .map(Request::Serve)
+                        .collect();
+                    id += n as u64;
+                    black_box(store.submit_batch(now, &requests));
+                });
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_serve);
+criterion_main!(benches);

@@ -29,6 +29,26 @@ const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
     ("overhead", inventory::overhead, "overhead"),
 ];
 
+/// Criterion bench targets (`cargo bench --bench <name>`), one per hot
+/// path. `figures -- --list-benches` prints this inventory so tooling
+/// discovers the microbenches from the same binary that runs the
+/// experiments; keep it in sync with `[[bench]]` in Cargo.toml.
+const BENCHES: &[(&str, &str)] = &[
+    ("engine_ops", "Cache Engine record/touch/remove"),
+    ("tracker_ops", "Request Tracker dispatch/complete"),
+    (
+        "policy_decisions",
+        "caching-policy ingest/request/victim decisions",
+    ),
+    ("workload_kernels", "the ten workload compute kernels"),
+    ("serve_path", "end-to-end round ingest and cache-hit serve"),
+    ("decoded_cache", "decoded-value layer hits vs re-parsing"),
+    (
+        "batch_serve",
+        "batched vs sequential serving of same-replica-set requests",
+    ),
+];
+
 /// Aliases: a figure produced jointly with another maps to the same run.
 const ALIASES: &[(&str, &str)] = &[
     ("fig2", "fig1"),
@@ -45,6 +65,13 @@ fn main() {
         // Machine-readable manifest: one output file stem per experiment.
         for (_, _, output) in EXPERIMENTS {
             println!("{output}");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--list-benches") {
+        // Machine-readable bench inventory: one Criterion target per line.
+        for (name, what) in BENCHES {
+            println!("{name}\t{what}");
         }
         return;
     }

@@ -78,6 +78,7 @@ fn run_pair(model: ModelArch, scale: Scale, baseline: &str) -> (DriveReport, Dri
         } else {
             WorkloadKind::ALL.to_vec()
         },
+        events: None,
     };
     let mut fl = flstore_for(&job, PolicyVariant::Tailored, 0xF1);
     let fl_report = drive(&mut fl, &job, &trace);

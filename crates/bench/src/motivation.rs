@@ -88,6 +88,7 @@ pub fn fig1_fig2_fig10(scale: Scale) -> Value {
         requests: scale.requests(),
         window: scale.window(),
         kinds: WorkloadKind::ALL.to_vec(),
+        events: None,
     };
     let mut base = objstore_agg(&job);
     let base_report = drive(&mut base, &job, &trace);

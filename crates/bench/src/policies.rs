@@ -25,6 +25,7 @@ pub fn fig11(scale: Scale) -> Value {
         requests: scale.requests(),
         window: scale.window(),
         kinds: WorkloadKind::ALL.to_vec(),
+        events: None,
     };
     println!(
         "{:<18} {:>9} {:>11} {:>11} {:>12} {:>12}",

@@ -103,6 +103,7 @@ pub fn fig13_fig14(scale: Scale) -> Value {
         requests: scale.requests(),
         window: scale.window(),
         kinds: WorkloadKind::ALL.to_vec(),
+        events: None,
     };
     let reclaim = ReclaimModel::FAULT_INJECTION;
     println!(

@@ -1,0 +1,620 @@
+//! `flstore_api` — the unified request/response front door.
+//!
+//! Every serving architecture in this workspace — [`FlStore`], the
+//! aggregator baselines, and the multi-tenant front end — sits behind one
+//! typed surface: requests arrive as [`Request`] envelopes, responses
+//! leave as [`Response`] envelopes, and failures are first-class
+//! [`ApiError`] values instead of `Option`-erased `None`s. The surface is
+//! batched from the start ([`Service::submit_batch`]), the way
+//! request-plane batching amortizes fixed per-request work in serving
+//! systems, so executors can exploit shared work across a batch without
+//! changing any caller.
+//!
+//! Admission runs before execution: an envelope routed to a system that
+//! does not own its [`JobId`] is rejected with [`ApiError::UnknownJob`]
+//! and has *no side effects* — multi-tenant routing and single-tenant
+//! serving share one front door and one rejection semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use flstore_core::api::{Request, Response, Service};
+//! use flstore_core::policy::TailoredPolicy;
+//! use flstore_core::store::{FlStore, FlStoreConfig};
+//! use flstore_fl::ids::JobId;
+//! use flstore_fl::job::{FlJobConfig, FlJobSim};
+//! use flstore_sim::time::SimTime;
+//!
+//! let cfg = FlJobConfig::quick_test(JobId::new(1));
+//! let mut store = FlStore::new(
+//!     FlStoreConfig::for_model(&cfg.model),
+//!     Box::new(TailoredPolicy::new()),
+//!     cfg.job,
+//!     cfg.model,
+//! );
+//! let record = FlJobSim::new(cfg.clone()).next().expect("rounds");
+//! let response = store.submit(
+//!     SimTime::ZERO,
+//!     Request::Ingest { job: cfg.job, record: std::sync::Arc::new(record) },
+//! );
+//! assert!(matches!(response, Response::Ingested(r) if r.cached > 0));
+//! // A foreign job is rejected at admission, with no side effects.
+//! let foreign = flstore_fl::metadata::MetaKey::aggregate(
+//!     JobId::new(99),
+//!     flstore_fl::ids::Round::ZERO,
+//! );
+//! let rejected = store.submit(SimTime::ZERO, Request::Evict(foreign));
+//! assert!(!rejected.is_ok());
+//! // The same door answers telemetry.
+//! let response = store.submit(SimTime::ZERO, Request::Stats);
+//! assert!(matches!(response, Response::Stats(_)));
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use flstore_cloud::blob::StoreError;
+use flstore_fl::ids::JobId;
+use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::MetaKey;
+use flstore_serverless::platform::PlatformError;
+use flstore_sim::cost::{Cost, CostBreakdown};
+use flstore_sim::time::SimTime;
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::run::WorkloadError;
+use flstore_workloads::service::ServiceLedger;
+
+use crate::error::FlStoreError;
+use crate::store::{FlStore, ServedRequest};
+use crate::tenancy::MultiTenantStore;
+
+/// One typed request envelope submitted to a serving system.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Ingest one training round's metadata for `job`. The record is
+    /// shared (`Arc`), so building and cloning envelopes never deep-copies
+    /// the round's per-client update blobs.
+    Ingest {
+        /// The producing job (the tenant the record routes to).
+        job: JobId,
+        /// The completed round.
+        record: Arc<RoundRecord>,
+    },
+    /// Serve one non-training workload request (routes by its `job`).
+    Serve(WorkloadRequest),
+    /// Evict one object from every cache layer; the persistent copy
+    /// remains the fallback (routes by the key's `job`).
+    Evict(MetaKey),
+    /// Report serving statistics.
+    Stats,
+}
+
+impl Request {
+    /// The job this envelope routes to; `None` for system-wide envelopes
+    /// ([`Request::Stats`]).
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            Request::Ingest { job, .. } => Some(*job),
+            Request::Serve(request) => Some(request.job),
+            Request::Evict(key) => Some(key.job),
+            Request::Stats => None,
+        }
+    }
+}
+
+/// The typed response to one [`Request`] envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The round was ingested.
+    Ingested(crate::store::IngestReceipt),
+    /// The workload was served (boxed: served requests carry the full
+    /// outcome and measurement, much larger than the other variants).
+    Served(Box<ServedRequest>),
+    /// The eviction was processed; `was_cached` reports whether the key
+    /// was actually held in cache.
+    Evicted {
+        /// Whether the key was cached before the eviction.
+        was_cached: bool,
+    },
+    /// Serving statistics at submission time.
+    Stats(StatsReport),
+    /// The envelope was rejected — at admission or during execution.
+    Rejected(ApiError),
+}
+
+impl Response {
+    /// The served request, if this response carries one.
+    pub fn served(&self) -> Option<&ServedRequest> {
+        match self {
+            Response::Served(served) => Some(served),
+            _ => None,
+        }
+    }
+
+    /// The rejection, if this response carries one.
+    pub fn error(&self) -> Option<&ApiError> {
+        match self {
+            Response::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True when the envelope was processed (not rejected).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Rejected(_))
+    }
+}
+
+/// A typed front-door failure. Nothing is erased: admission rejections,
+/// missing data, store/platform/workload failures each keep their cause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The envelope routed to a job this system does not own (admission
+    /// rejection; the envelope had no side effects).
+    UnknownJob {
+        /// The job the envelope named.
+        job: JobId,
+    },
+    /// No ingested round satisfies the request.
+    NoData {
+        /// The offending request.
+        request: RequestId,
+    },
+    /// Persistent-store failure (missing backup object).
+    Store(StoreError),
+    /// The workload rejected its inputs.
+    Workload(WorkloadError),
+    /// Serverless platform failure.
+    Platform(PlatformError),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::UnknownJob { job } => {
+                write!(f, "no tenant serves {job}")
+            }
+            ApiError::NoData { request } => {
+                write!(f, "no ingested data satisfies {request}")
+            }
+            ApiError::Store(e) => write!(f, "persistent store: {e}"),
+            ApiError::Workload(e) => write!(f, "workload: {e}"),
+            ApiError::Platform(e) => write!(f, "platform: {e}"),
+        }
+    }
+}
+
+impl Error for ApiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApiError::UnknownJob { .. } | ApiError::NoData { .. } => None,
+            ApiError::Store(e) => Some(e),
+            ApiError::Workload(e) => Some(e),
+            ApiError::Platform(e) => Some(e),
+        }
+    }
+}
+
+impl From<FlStoreError> for ApiError {
+    fn from(e: FlStoreError) -> Self {
+        match e {
+            FlStoreError::NoData { request } => ApiError::NoData { request },
+            FlStoreError::Store(e) => ApiError::Store(e),
+            FlStoreError::Workload(e) => ApiError::Workload(e),
+            FlStoreError::Platform(e) => ApiError::Platform(e),
+        }
+    }
+}
+
+/// A point-in-time serving summary (the [`Request::Stats`] response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Architecture label.
+    pub label: String,
+    /// Tenants behind this front door (1 for single-tenant systems).
+    pub tenants: usize,
+    /// Requests served so far.
+    pub served: usize,
+    /// Total needed objects found in cache.
+    pub cache_hits: u64,
+    /// Total needed objects fetched from the persistent store.
+    pub cache_misses: u64,
+    /// Overall hit rate in `[0, 1]` (1.0 when nothing was needed).
+    pub hit_rate: f64,
+    /// Replica reclamations observed (0 for systems without a serverless
+    /// cache).
+    pub faults: u64,
+}
+
+impl StatsReport {
+    /// Builds a single-tenant report from a serving ledger.
+    pub fn from_ledger(label: String, ledger: &ServiceLedger, faults: u64) -> Self {
+        StatsReport {
+            label,
+            tenants: 1,
+            served: ledger.len(),
+            cache_hits: ledger.hits(),
+            cache_misses: ledger.misses(),
+            hit_rate: ledger.hit_rate(),
+            faults,
+        }
+    }
+}
+
+/// Anything that serves FL non-training traffic behind the typed front
+/// door: FLStore, the aggregator baselines, the multi-tenant front end —
+/// and every future sharded or concurrent executor.
+pub trait Service {
+    /// Architecture label for reports.
+    fn label(&self) -> String;
+
+    /// Submits one envelope at `now`. Admission failures and execution
+    /// failures both surface as [`Response::Rejected`]; rejected
+    /// envelopes have no side effects beyond what their partial execution
+    /// already committed.
+    fn submit(&mut self, now: SimTime, request: Request) -> Response;
+
+    /// Submits a batch of envelopes that share one arrival instant,
+    /// returning one response per envelope in order. Executors override
+    /// this to amortize fixed per-request work across the batch; the
+    /// default processes envelopes sequentially, and every implementation
+    /// must keep a batch of one identical to [`Service::submit`].
+    fn submit_batch(&mut self, now: SimTime, requests: &[Request]) -> Vec<Response> {
+        requests
+            .iter()
+            .map(|request| self.submit(now, request.clone()))
+            .collect()
+    }
+
+    /// Total cost over the window ending at `now` (requests + background +
+    /// always-on infrastructure + storage).
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown;
+
+    /// Always-on infrastructure cost alone over the window ending at `now`
+    /// (used to amortize per-request costs the way the paper does).
+    fn infra_cost(&mut self, now: SimTime) -> Cost;
+}
+
+fn serve_response(result: Result<ServedRequest, FlStoreError>) -> Response {
+    match result {
+        Ok(served) => Response::Served(Box::new(served)),
+        Err(e) => Response::Rejected(e.into()),
+    }
+}
+
+impl Service for FlStore {
+    fn label(&self) -> String {
+        self.policy_name().to_string()
+    }
+
+    fn submit(&mut self, now: SimTime, request: Request) -> Response {
+        let own = self.catalog().job();
+        if let Some(job) = request.job() {
+            if job != own {
+                return Response::Rejected(ApiError::UnknownJob { job });
+            }
+        }
+        match request {
+            Request::Ingest { record, .. } => Response::Ingested(self.ingest_round(now, &record)),
+            Request::Serve(request) => serve_response(self.serve(now, &request)),
+            Request::Evict(key) => Response::Evicted {
+                was_cached: self.evict(&key),
+            },
+            Request::Stats => Response::Stats(StatsReport::from_ledger(
+                Service::label(self),
+                self.ledger(),
+                self.faults_observed(),
+            )),
+        }
+    }
+
+    /// Runs of consecutive admitted `Serve` envelopes go through
+    /// [`FlStore::serve_batch`], paying the liveness/refresh pass once per
+    /// run; other envelopes (and admission rejections, which have no side
+    /// effects) are processed in submission order.
+    fn submit_batch(&mut self, now: SimTime, requests: &[Request]) -> Vec<Response> {
+        let own = self.catalog().job();
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut i = 0;
+        while i < requests.len() {
+            // Collect the run of consecutive Serve envelopes starting here.
+            let mut run: Vec<WorkloadRequest> = Vec::new();
+            let mut slots: Vec<usize> = Vec::new();
+            while let Some(Request::Serve(request)) = requests.get(i) {
+                if request.job == own {
+                    run.push(*request);
+                    slots.push(i);
+                } else {
+                    responses[i] = Some(Response::Rejected(ApiError::UnknownJob {
+                        job: request.job,
+                    }));
+                }
+                i += 1;
+            }
+            if !run.is_empty() {
+                for (slot, result) in slots.into_iter().zip(self.serve_batch(now, &run)) {
+                    responses[slot] = Some(serve_response(result));
+                }
+            }
+            if let Some(request) = requests.get(i) {
+                responses[i] = Some(self.submit(now, request.clone()));
+                i += 1;
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every envelope slot is filled"))
+            .collect()
+    }
+
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
+        self.total_cost(now)
+    }
+
+    fn infra_cost(&mut self, now: SimTime) -> Cost {
+        // FLStore has no dedicated always-on servers; its standing cost is
+        // the keep-alive pings.
+        let _ = now;
+        self.platform().billing().keepalive_cost
+    }
+}
+
+impl Service for MultiTenantStore {
+    fn label(&self) -> String {
+        format!("FLStore-MT({})", self.tenant_count())
+    }
+
+    fn submit(&mut self, now: SimTime, request: Request) -> Response {
+        match request.job() {
+            Some(job) => match self.tenant_mut(job) {
+                Some(store) => store.submit(now, request),
+                None => Response::Rejected(ApiError::UnknownJob { job }),
+            },
+            // System-wide envelopes aggregate over every tenant.
+            None => Response::Stats(self.stats_report()),
+        }
+    }
+
+    /// Runs of consecutive `Serve` envelopes bound for the *same tenant*
+    /// are forwarded as one sub-batch, so per-tenant executors amortize
+    /// across them; everything else routes envelope by envelope.
+    fn submit_batch(&mut self, now: SimTime, requests: &[Request]) -> Vec<Response> {
+        let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
+        let mut i = 0;
+        while i < requests.len() {
+            let Request::Serve(first) = &requests[i] else {
+                responses.push(self.submit(now, requests[i].clone()));
+                i += 1;
+                continue;
+            };
+            let job = first.job;
+            let mut run: Vec<Request> = Vec::new();
+            while let Some(Request::Serve(request)) = requests.get(i) {
+                if request.job != job {
+                    break;
+                }
+                run.push(Request::Serve(*request));
+                i += 1;
+            }
+            match self.tenant_mut(job) {
+                Some(store) => responses.extend(store.submit_batch(now, &run)),
+                None => responses.extend(
+                    run.iter()
+                        .map(|_| Response::Rejected(ApiError::UnknownJob { job })),
+                ),
+            }
+        }
+        responses
+    }
+
+    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
+        self.total_cost(now)
+    }
+
+    fn infra_cost(&mut self, now: SimTime) -> Cost {
+        self.tenants_mut()
+            .map(|store| Service::infra_cost(store, now))
+            .sum()
+    }
+}
+
+impl MultiTenantStore {
+    /// Aggregated serving statistics across every tenant.
+    pub fn stats_report(&self) -> StatsReport {
+        let mut report = StatsReport {
+            label: format!("FLStore-MT({})", self.tenant_count()),
+            tenants: self.tenant_count(),
+            served: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            hit_rate: 1.0,
+            faults: 0,
+        };
+        for store in self.tenants() {
+            report.served += store.ledger().len();
+            report.cache_hits += store.ledger().hits();
+            report.cache_misses += store.ledger().misses();
+            report.faults += store.faults_observed();
+        }
+        let touched = report.cache_hits + report.cache_misses;
+        if touched > 0 {
+            report.hit_rate = report.cache_hits as f64 / touched as f64;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TailoredPolicy;
+    use crate::store::FlStoreConfig;
+    use flstore_fl::job::{FlJobConfig, FlJobSim};
+    use flstore_fl::zoo::ModelArch;
+    use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+    use flstore_sim::time::SimDuration;
+    use flstore_workloads::taxonomy::WorkloadKind;
+
+    fn quiet_config(model: &ModelArch) -> FlStoreConfig {
+        FlStoreConfig {
+            platform: PlatformConfig {
+                reclaim: ReclaimModel::DISABLED,
+                ..PlatformConfig::default()
+            },
+            ..FlStoreConfig::for_model(model)
+        }
+    }
+
+    fn loaded_store(rounds: u32) -> (FlStore, FlJobConfig, Vec<RoundRecord>) {
+        let cfg = FlJobConfig {
+            rounds,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        let mut store = FlStore::new(
+            quiet_config(&cfg.model),
+            Box::new(TailoredPolicy::new()),
+            cfg.job,
+            cfg.model,
+        );
+        let records: Vec<RoundRecord> = FlJobSim::new(cfg.clone()).collect();
+        let mut now = SimTime::ZERO;
+        for r in &records {
+            store.submit(
+                now,
+                Request::Ingest {
+                    job: cfg.job,
+                    record: Arc::new(r.clone()),
+                },
+            );
+            now += SimDuration::from_secs(60);
+        }
+        (store, cfg, records)
+    }
+
+    fn p2(id: u64, job: JobId, round: flstore_fl::ids::Round) -> WorkloadRequest {
+        WorkloadRequest::new(
+            RequestId::new(id),
+            WorkloadKind::MaliciousFiltering,
+            job,
+            round,
+            None,
+        )
+    }
+
+    #[test]
+    fn front_door_serves_and_reports_stats() {
+        let (mut store, cfg, records) = loaded_store(5);
+        let now = SimTime::from_secs(3600);
+        let round = records.last().expect("rounds").round;
+        let response = store.submit(now, Request::Serve(p2(1, cfg.job, round)));
+        let served = response.served().expect("served");
+        assert_eq!(served.measured.cache_misses, 0);
+
+        let Response::Stats(stats) = store.submit(now, Request::Stats) else {
+            panic!("stats envelope answers with stats");
+        };
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.tenants, 1);
+        assert!(stats.hit_rate > 0.99);
+    }
+
+    #[test]
+    fn admission_rejects_foreign_jobs_without_side_effects() {
+        let (mut store, _, records) = loaded_store(3);
+        let now = SimTime::from_secs(3600);
+        let round = records.last().expect("rounds").round;
+        let foreign = JobId::new(99);
+        let response = store.submit(now, Request::Serve(p2(1, foreign, round)));
+        assert_eq!(
+            response.error(),
+            Some(&ApiError::UnknownJob { job: foreign })
+        );
+        assert!(store.ledger().is_empty(), "rejection must not be ledgered");
+
+        let evict = store.submit(now, Request::Evict(MetaKey::aggregate(foreign, round)));
+        assert!(!evict.is_ok());
+    }
+
+    #[test]
+    fn evict_envelope_reports_cache_state() {
+        let (mut store, cfg, records) = loaded_store(3);
+        let round = records.last().expect("rounds").round;
+        let key = MetaKey::aggregate(cfg.job, round);
+        let now = SimTime::from_secs(3600);
+        assert_eq!(
+            store.submit(now, Request::Evict(key)),
+            Response::Evicted { was_cached: true }
+        );
+        assert_eq!(
+            store.submit(now, Request::Evict(key)),
+            Response::Evicted { was_cached: false }
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_submit() {
+        let (mut a, cfg, records) = loaded_store(6);
+        let (mut b, _, _) = loaded_store(6);
+        let now = SimTime::from_secs(7200);
+        let round = records.last().expect("rounds").round;
+        let request = Request::Serve(p2(7, cfg.job, round));
+        let batched = a.submit_batch(now, std::slice::from_ref(&request));
+        let single = b.submit(now, request);
+        assert_eq!(batched, vec![single]);
+        assert_eq!(a.ledger().outcomes, b.ledger().outcomes);
+    }
+
+    #[test]
+    fn multi_tenant_front_door_routes_by_job() {
+        let mut front = MultiTenantStore::new(quiet_config(&ModelArch::RESNET18));
+        let cfg1 = FlJobConfig {
+            rounds: 3,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        let cfg2 = FlJobConfig {
+            rounds: 3,
+            ..FlJobConfig::quick_test(JobId::new(2))
+        };
+        front.register_job(cfg1.job, cfg1.model);
+        front.register_job(cfg2.job, cfg2.model);
+        let mut last = std::collections::HashMap::new();
+        for cfg in [&cfg1, &cfg2] {
+            let mut now = SimTime::ZERO;
+            for record in FlJobSim::new(cfg.clone()) {
+                last.insert(cfg.job, record.round);
+                front.submit(
+                    now,
+                    Request::Ingest {
+                        job: cfg.job,
+                        record: Arc::new(record),
+                    },
+                );
+                now += SimDuration::from_secs(60);
+            }
+        }
+        let now = SimTime::from_secs(3600);
+        // One batch interleaving both tenants plus a stats envelope.
+        let batch = vec![
+            Request::Serve(p2(1, cfg1.job, last[&cfg1.job])),
+            Request::Serve(p2(2, cfg2.job, last[&cfg2.job])),
+            Request::Serve(p2(3, cfg2.job, last[&cfg2.job])),
+            Request::Serve(p2(4, JobId::new(9), flstore_fl::ids::Round::ZERO)),
+            Request::Stats,
+        ];
+        let responses = front.submit_batch(now, &batch);
+        assert_eq!(responses.len(), batch.len());
+        assert!(responses[0].served().is_some());
+        assert!(responses[1].served().is_some());
+        assert!(responses[2].served().is_some());
+        assert_eq!(
+            responses[3].error(),
+            Some(&ApiError::UnknownJob { job: JobId::new(9) })
+        );
+        let Response::Stats(stats) = &responses[4] else {
+            panic!("stats envelope answers with stats");
+        };
+        assert_eq!(stats.tenants, 2);
+        assert_eq!(stats.served, 3);
+    }
+}

@@ -4,14 +4,17 @@
 //! data and compute planes on serverless functions, with caching policies
 //! tailored to the iterative access patterns of federated learning.
 //!
+//! * [`api`] — the `flstore_api` front door: typed [`Request`]/[`Response`]
+//!   envelopes, admission, and the batched [`Service`] trait every serving
+//!   architecture implements.
 //! * [`engine`] — the Cache Engine: `(client, round) → function` placement
 //!   index with replication and async-prefetch availability.
 //! * [`tracker`] — the Request Tracker: `request → ([functions], status)`.
 //! * [`policy`] — tailored (P1–P4), reactive (LRU/FIFO/LFU/Random), and
 //!   static-ablation caching policies.
-//! * [`store`] — [`FlStore`](store::FlStore): ingest rounds, serve requests
+//! * [`store`] — [`FlStore`]: ingest rounds, serve requests
 //!   with locality-aware execution, replicate, fail over, re-fetch.
-//! * [`tenancy`] — [`MultiTenantStore`](tenancy::MultiTenantStore): isolated
+//! * [`tenancy`] — [`MultiTenantStore`]: isolated
 //!   per-job caches on one deployment (paper Appendix A).
 //! * [`metrics`] — per-request outcomes and experiment ledgers (shared
 //!   with the baselines via `flstore-workloads`).
@@ -58,6 +61,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod engine;
 pub mod error;
 pub mod policy;
@@ -71,6 +75,7 @@ pub mod metrics {
     pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};
 }
 
+pub use api::{ApiError, Request, Response, Service, StatsReport};
 pub use engine::CacheEngine;
 pub use error::FlStoreError;
 pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};

@@ -251,7 +251,10 @@ impl CachingPolicy for TailoredPolicy {
                 MetaKind::ClientUpdate | MetaKind::Aggregate => 0u8,
                 MetaKind::HyperParams | MetaKind::RoundMetrics => 1u8,
             };
-            (class_rank, *round)
+            // The key itself breaks ties: candidates come out of a hash
+            // map whose iteration order is arbitrary, and victim choice
+            // must not depend on it.
+            (class_rank, *round, *k)
         });
         let mut freed = ByteSize::ZERO;
         let mut victims = Vec::new();
@@ -347,10 +350,15 @@ impl CachingPolicy for ReactivePolicy {
     }
 
     fn victims(&mut self, need: ByteSize, engine: &CacheEngine) -> Vec<MetaKey> {
-        let mut candidates: Vec<(MetaKey, ByteSize, u64)> = engine
-            .keys()
+        // Enumerate candidates in key order, not hash-map order: rank
+        // assignment (the Random discipline draws one rank per key) and
+        // tie-breaking must not depend on iteration order.
+        let mut keys: Vec<MetaKey> = engine.keys().copied().collect();
+        keys.sort_unstable();
+        let mut candidates: Vec<(MetaKey, ByteSize, u64)> = keys
+            .into_iter()
             .map(|k| {
-                let meta = engine.meta(k);
+                let meta = engine.meta(&k);
                 let size = meta.map(|m| m.size).unwrap_or(ByteSize::ZERO);
                 let rank = match (self.discipline, meta) {
                     (EvictionDiscipline::Lru, Some(m)) => m.last_access_seq,
@@ -359,10 +367,10 @@ impl CachingPolicy for ReactivePolicy {
                     (EvictionDiscipline::Random, _) => self.rng.next_u64(),
                     (_, None) => 0,
                 };
-                (*k, size, rank)
+                (k, size, rank)
             })
             .collect();
-        candidates.sort_by_key(|(_, _, rank)| *rank);
+        candidates.sort_by_key(|(k, _, rank)| (*rank, *k));
         let mut freed = ByteSize::ZERO;
         let mut victims = Vec::new();
         for (k, size, _) in candidates {

@@ -83,7 +83,7 @@ impl FlStoreConfig {
 }
 
 /// A served request: the workload result plus the measured latency/cost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServedRequest {
     /// The workload's computed output.
     pub outcome: WorkloadOutcome,
@@ -245,7 +245,7 @@ impl FlStore {
         // replicas are repaired by copying from a survivor (async,
         // intra-cloud). Orphaned keys fall back to the persistent store on
         // next access.
-        let affected: Vec<MetaKey> = self
+        let mut affected: Vec<MetaKey> = self
             .engine
             .keys()
             .filter(|k| {
@@ -256,6 +256,9 @@ impl FlStore {
             })
             .copied()
             .collect();
+        // Repair in key order: the keys come out of a hash map, and repair
+        // placement (first-fit) must not depend on its iteration order.
+        affected.sort_unstable();
         let _orphaned = self.engine.drop_replica(id);
         let ring = self.ring_of.get(&id).copied().unwrap_or(0);
         for key in affected {
@@ -453,43 +456,146 @@ impl FlStore {
                 request: request.id,
             });
         }
+        let referenced = self.referenced_functions(std::iter::once(needs.as_slice()));
+        let recovered = self.liveness_pass(now, &referenced, &[needs.as_slice()]);
+        self.serve_resolved(now, request, &needs, recovered[0])
+    }
 
-        let mut latency = LatencyBreakdown {
-            routing: self.cfg.routing_overhead,
-            ..LatencyBreakdown::ZERO
-        };
-        let mut cost = CostBreakdown::ZERO;
-        let mut recovered_from_fault = false;
-
-        // Liveness pass over every replica the needed keys reference.
-        let mut referenced: Vec<FunctionId> = needs
+    /// Serves a batch of requests that share one arrival instant,
+    /// amortizing the fixed per-request front-door work: the
+    /// replica-liveness/refresh pass (and its placement-index walk) runs
+    /// once over the *union* of functions the batch references instead of
+    /// once per request. Requests are then resolved in order, so cache
+    /// mutations (miss-caching, prefetch, eviction) flow between batch
+    /// members exactly as they would under sequential serving — a batch of
+    /// one is bit-for-bit identical to [`FlStore::serve`].
+    ///
+    /// Fault attribution is batch-scoped: a replica found reclaimed during
+    /// the shared pass marks `recovered_from_fault` on every request in
+    /// the batch whose needed keys referenced it.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries the same errors [`FlStore::serve`] returns for
+    /// that request; one failing request does not poison its batchmates.
+    pub fn serve_batch(
+        &mut self,
+        now: SimTime,
+        requests: &[WorkloadRequest],
+    ) -> Vec<Result<ServedRequest, FlStoreError>> {
+        self.advance(now);
+        // Resolve data needs once per distinct request shape: `data_needs`
+        // is a pure function of the catalog, which no serve mutates, so
+        // consecutive requests naming the same (kind, round, client,
+        // window) share one resolution.
+        let mut needs: Vec<Vec<MetaKey>> = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let repeat = i > 0 && {
+                let prev = &requests[i - 1];
+                prev.kind == request.kind
+                    && prev.round == request.round
+                    && prev.client == request.client
+                    && prev.window == request.window
+            };
+            if repeat {
+                let prev = needs[i - 1].clone();
+                needs.push(prev);
+            } else {
+                needs.push(self.catalog.data_needs(request));
+            }
+        }
+        let need_slices: Vec<&[MetaKey]> = needs.iter().map(|n| n.as_slice()).collect();
+        let referenced = self.referenced_functions(need_slices.iter().copied());
+        let recovered = self.liveness_pass(now, &referenced, &need_slices);
+        requests
             .iter()
+            .zip(&needs)
+            .zip(recovered)
+            .map(|((request, needs), recovered)| {
+                if needs.is_empty() {
+                    Err(FlStoreError::NoData {
+                        request: request.id,
+                    })
+                } else {
+                    self.serve_resolved(now, request, needs, recovered)
+                }
+            })
+            .collect()
+    }
+
+    /// Every function referenced by any of the given key sets, sorted and
+    /// deduplicated — the targets of one liveness pass.
+    fn referenced_functions<'a>(
+        &self,
+        needs: impl Iterator<Item = &'a [MetaKey]>,
+    ) -> Vec<FunctionId> {
+        // Placement lookups are per *unique* key: a batch whose requests
+        // name the same objects pays each index probe once.
+        let mut keys: Vec<&MetaKey> = needs.flat_map(|keys| keys.iter()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut referenced: Vec<FunctionId> = keys
+            .into_iter()
             .filter_map(|k| self.engine.locations(k))
             .flatten()
             .copied()
             .collect();
         referenced.sort_unstable();
         referenced.dedup();
-        for id in referenced {
+        referenced
+    }
+
+    /// One liveness/refresh pass over `referenced`, handling any
+    /// reclamations discovered. Returns, per entry of `needs_per_request`,
+    /// whether a reclaimed replica held data that request needed (the
+    /// `recovered_from_fault` flag).
+    fn liveness_pass(
+        &mut self,
+        now: SimTime,
+        referenced: &[FunctionId],
+        needs_per_request: &[&[MetaKey]],
+    ) -> Vec<bool> {
+        let mut recovered = vec![false; needs_per_request.len()];
+        for &id in referenced {
             if let Ok(Some(_)) = self.platform.refresh(now, id) {
-                let had_needed = needs.iter().any(|k| {
-                    self.engine
-                        .locations(k)
-                        .map(|l| l.contains(&id))
-                        .unwrap_or(false)
-                });
-                self.handle_reclaimed(now, id);
-                if had_needed {
-                    recovered_from_fault = true;
+                // Attribute the fault before repair mutates the placements.
+                for (slot, needs) in recovered.iter_mut().zip(needs_per_request) {
+                    if needs.iter().any(|k| {
+                        self.engine
+                            .locations(k)
+                            .map(|l| l.contains(&id))
+                            .unwrap_or(false)
+                    }) {
+                        *slot = true;
+                    }
                 }
+                self.handle_reclaimed(now, id);
             }
         }
+        recovered
+    }
+
+    /// The serve body after admission, data-needs resolution, and the
+    /// liveness pass: hit/miss classification, locality-aware execution,
+    /// and policy reaction.
+    fn serve_resolved(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+        needs: &[MetaKey],
+        recovered_from_fault: bool,
+    ) -> Result<ServedRequest, FlStoreError> {
+        let mut latency = LatencyBreakdown {
+            routing: self.cfg.routing_overhead,
+            ..LatencyBreakdown::ZERO
+        };
+        let mut cost = CostBreakdown::ZERO;
 
         // Hit/miss classification (after fault handling).
         let mut hit_keys: Vec<MetaKey> = Vec::new();
         let mut miss_keys: Vec<MetaKey> = Vec::new();
         let mut prefetch_wait = SimDuration::ZERO;
-        for key in &needs {
+        for key in needs {
             match self.engine.meta(key) {
                 Some(meta) => {
                     let wait = meta.available_at.duration_since(now);

@@ -95,6 +95,21 @@ impl MultiTenantStore {
         self.tenants.get(&job)
     }
 
+    /// Mutably borrows a tenant's store (the front-door routing hook).
+    pub fn tenant_mut(&mut self, job: JobId) -> Option<&mut FlStore> {
+        self.tenants.get_mut(&job)
+    }
+
+    /// Iterates over every tenant store, in job order.
+    pub fn tenants(&self) -> impl Iterator<Item = &FlStore> {
+        self.tenants.values()
+    }
+
+    /// Mutably iterates over every tenant store, in job order.
+    pub fn tenants_mut(&mut self) -> impl Iterator<Item = &mut FlStore> {
+        self.tenants.values_mut()
+    }
+
     /// Ingests a round into its job's tenant.
     ///
     /// # Errors

@@ -1,0 +1,190 @@
+//! Property: submitting any envelope mix through `Service::submit_batch`
+//! is observably identical to submitting the same envelopes one at a time
+//! (batch size 1) at the same instant — same responses, same ledger
+//! entries, same costs, same cache state.
+//!
+//! Deployments run with reclamation disabled (the figure-generation
+//! setup): batching is *defined* to share one liveness pass across a
+//! batch, so under fault injection a batch may attribute one fault to
+//! several batchmates — outside faults, there must be no observable
+//! difference at all.
+
+use proptest::prelude::*;
+
+use flstore_core::api::{Request, Response, Service};
+use flstore_core::policy::TailoredPolicy;
+use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
+use flstore_fl::metadata::MetaKey;
+use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::rng::DetRng;
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
+
+const JOB: u32 = 1;
+
+fn job_config() -> FlJobConfig {
+    FlJobConfig {
+        rounds: 6,
+        ..FlJobConfig::quick_test(JobId::new(JOB))
+    }
+}
+
+/// A deployment with `capacity` optionally constrained (the
+/// FLStore-limited shape, which exercises victim eviction under pressure).
+fn loaded_store(limited: bool) -> (FlStore, Vec<RoundRecord>) {
+    let job = job_config();
+    let cfg = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        capacity_per_ring: limited.then(|| job.round_metadata_bytes() + ByteSize::from_mb(50)),
+        ..FlStoreConfig::for_model(&job.model)
+    };
+    let mut store = FlStore::new(cfg, Box::new(TailoredPolicy::new()), job.job, job.model);
+    let records: Vec<RoundRecord> = FlJobSim::new(job.clone()).collect();
+    let mut now = SimTime::ZERO;
+    // Hold the last record back so the mix can contain Ingest envelopes.
+    for r in &records[..records.len() - 1] {
+        store.ingest_round(now, r);
+        now += SimDuration::from_secs(60);
+    }
+    (store, records)
+}
+
+/// Derives a deterministic envelope mix from `seed`: mostly serves across
+/// every workload class, plus evictions, stats probes, admission-rejected
+/// foreign-job requests, unservable rounds, and a held-back round ingest.
+fn request_mix(seed: u64, len: usize, records: &[RoundRecord]) -> Vec<Request> {
+    let mut rng = DetRng::stream(seed, "api-batch-mix");
+    let observed = &records[..records.len() - 1];
+    let mut requests = Vec::with_capacity(len);
+    for i in 0..len {
+        let id = RequestId::new(i as u64 + 1);
+        match rng.index(12) {
+            // One held-back round can land mid-mix (a batch barrier).
+            0 => requests.push(Request::Ingest {
+                job: JobId::new(JOB),
+                record: std::sync::Arc::new(records.last().expect("records").clone()),
+            }),
+            1 => {
+                let round = observed[rng.index(observed.len())].round;
+                let key = match rng.index(3) {
+                    0 => MetaKey::aggregate(JobId::new(JOB), round),
+                    1 => MetaKey::metrics(JobId::new(JOB), round),
+                    _ => MetaKey::hyperparams(JobId::new(JOB), round),
+                };
+                requests.push(Request::Evict(key));
+            }
+            2 => requests.push(Request::Stats),
+            3 => {
+                // Admission rejection: a job no deployment owns.
+                let round = observed[rng.index(observed.len())].round;
+                requests.push(Request::Serve(WorkloadRequest::new(
+                    id,
+                    WorkloadKind::Inference,
+                    JobId::new(77),
+                    round,
+                    None,
+                )));
+            }
+            4 => {
+                // Unservable round: typed NoData, not a silent drop.
+                requests.push(Request::Serve(WorkloadRequest::new(
+                    id,
+                    WorkloadKind::Clustering,
+                    JobId::new(JOB),
+                    flstore_fl::ids::Round::new(99),
+                    None,
+                )));
+            }
+            _ => {
+                let record = &observed[rng.index(observed.len())];
+                let kind = WorkloadKind::ALL[rng.index(WorkloadKind::ALL.len())];
+                let client = match kind.policy_class() {
+                    PolicyClass::P3AcrossRounds => {
+                        Some(record.updates[rng.index(record.updates.len())].client)
+                    }
+                    _ => None,
+                };
+                requests.push(Request::Serve(WorkloadRequest::new(
+                    id,
+                    kind,
+                    JobId::new(JOB),
+                    record.round,
+                    client,
+                )));
+            }
+        }
+    }
+    requests
+}
+
+fn cache_fingerprint(store: &FlStore) -> Vec<String> {
+    let mut keys: Vec<String> = store
+        .engine()
+        .keys()
+        .map(|k| {
+            let m = store.engine().meta(k).expect("tracked keys carry meta");
+            format!(
+                "{k} seq={} freq={} locs={:?}",
+                m.last_access_seq,
+                m.frequency,
+                store.engine().locations(k)
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn assert_equivalent(limited: bool, seed: u64, len: usize) {
+    let (mut batched, records) = loaded_store(limited);
+    let (mut sequential, _) = loaded_store(limited);
+    let mix = request_mix(seed, len, &records);
+    let now = SimTime::from_secs(7200);
+
+    let batch_responses = batched.submit_batch(now, &mix);
+    let sequential_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| sequential.submit(now, r.clone()))
+        .collect();
+
+    assert_eq!(batch_responses, sequential_responses, "responses differ");
+    assert_eq!(
+        batched.ledger().outcomes,
+        sequential.ledger().outcomes,
+        "ledger entries differ"
+    );
+    assert_eq!(
+        batched.ledger().background_cost,
+        sequential.ledger().background_cost,
+        "background costs differ"
+    );
+    assert_eq!(
+        batched.total_cost(now),
+        sequential.total_cost(now),
+        "window costs differ"
+    );
+    assert_eq!(
+        cache_fingerprint(&batched),
+        cache_fingerprint(&sequential),
+        "cache state differs"
+    );
+}
+
+proptest! {
+    #[test]
+    fn batch_equals_sequential_unconstrained(seed in 0u64..1_000_000, len in 1usize..24) {
+        assert_equivalent(false, seed, len);
+    }
+
+    #[test]
+    fn batch_equals_sequential_under_capacity_pressure(seed in 0u64..1_000_000, len in 1usize..24) {
+        assert_equivalent(true, seed, len);
+    }
+}

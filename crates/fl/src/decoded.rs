@@ -13,8 +13,9 @@
 //!   ([`DecodedCache::invalidate`]), and
 //! * every validated read ([`DecodedCache::get_or_decode`]) checks that
 //!   the presented blob is *the same bytes in memory* as the ones the
-//!   cached value was decoded from (`Bytes::ptr_eq`). The entry pins a
-//!   refcounted clone of those bytes, so the backing buffer can never be
+//!   cached value was decoded from (same slice address and length — see
+//!   [`same_bytes`], which uses only upstream `bytes` API). The entry pins
+//!   a refcounted clone of those bytes, so the backing buffer can never be
 //!   freed and its address reused while the entry lives — a pointer match
 //!   therefore guarantees the decode is current, and an overwritten blob
 //!   (new buffer, new address) forces a re-decode. No stale handle can
@@ -26,6 +27,18 @@ use bytes::Bytes;
 use flstore_cloud::blob::Blob;
 
 use crate::metadata::{MetaKey, MetaValue, SharedValue};
+
+/// Byte-identity check: whether two handles view *the same slice of
+/// memory* (same starting address, same length). Unlike the vendored
+/// `Bytes::ptr_eq`, this relies only on API that upstream `bytes` exposes
+/// (`Deref<Target = [u8]>`), so the workspace can swap to crates.io
+/// `bytes` without a vendor-only identity method.
+///
+/// Empty slices are never considered identical: all empty views share one
+/// dangling address, so an address match proves nothing about provenance.
+pub fn same_bytes(a: &Bytes, b: &Bytes) -> bool {
+    !a.is_empty() && a.len() == b.len() && a.as_ptr() == b.as_ptr()
+}
 
 /// Operation counters for the decoded-value layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,7 +58,7 @@ pub struct DecodedStats {
 #[derive(Debug, Clone)]
 struct Entry {
     /// The exact bytes `value` was decoded from. Holding this clone pins
-    /// the backing buffer, making the `ptr_eq` identity check sound.
+    /// the backing buffer, making the [`same_bytes`] identity check sound.
     payload: Bytes,
     value: SharedValue,
 }
@@ -117,7 +130,7 @@ impl DecodedCache {
     /// undecodable payloads (synthetic blobs), dropping any stale entry.
     pub fn get_or_decode(&mut self, key: &MetaKey, blob: &Blob) -> Option<SharedValue> {
         if let Some(entry) = self.entries.get(key) {
-            if entry.payload.ptr_eq(blob.payload()) {
+            if same_bytes(&entry.payload, blob.payload()) {
                 self.stats.hits += 1;
                 return Some(entry.value.clone());
             }
@@ -133,9 +146,10 @@ impl DecodedCache {
     /// the served blob keeps these bytes.
     ///
     /// Payload-less blobs are ignored: all empty `Bytes` views alias one
-    /// address, so `ptr_eq` cannot distinguish them and a seeded entry
-    /// could match a logically different empty blob later. (Such blobs
-    /// carry nothing decodable anyway.)
+    /// address, so a pointer comparison cannot distinguish them and a
+    /// seeded entry could match a logically different empty blob later.
+    /// (Such blobs carry nothing decodable anyway; [`same_bytes`] also
+    /// refuses empty slices as a second line of defense.)
     pub fn seed(&mut self, key: MetaKey, blob: &Blob, value: SharedValue) {
         if blob.payload().is_empty() {
             return;
@@ -265,9 +279,25 @@ mod tests {
     }
 
     #[test]
+    fn same_bytes_is_identity_not_equality() {
+        let (_, _, blob) = sample();
+        let a = blob.payload().clone();
+        // A clone views the same backing buffer: identical.
+        assert!(same_bytes(&a, blob.payload()));
+        // An equal-content copy lives at a different address: not identical.
+        let copy = Bytes::copy_from_slice(&a);
+        assert_eq!(&*copy, &*a);
+        assert!(!same_bytes(&a, &copy));
+        // Empty views are never identical, even to themselves by address.
+        let empty = Bytes::new();
+        assert!(!same_bytes(&empty, &Bytes::new()));
+        assert!(!same_bytes(&empty, &empty.clone()));
+    }
+
+    #[test]
     fn seeding_a_payloadless_blob_is_refused() {
         // All empty `Bytes` views share one address, so an empty-payload
-        // entry would ptr_eq-match ANY later empty blob and serve a stale
+        // entry would address-match ANY later empty blob and serve a stale
         // value for logically different data. `seed` must refuse it.
         let (key, value, _) = sample();
         let mut cache = DecodedCache::new();

@@ -4,9 +4,9 @@
 //! function instances with bounded memory, cold starts, idle-TTL and
 //! heavy-tailed forced reclamation, keep-alive pings, and GB-second billing.
 //!
-//! * [`function`] — [`FunctionInstance`](function::FunctionInstance): bounded
+//! * [`function`] — [`FunctionInstance`]: bounded
 //!   memory holding cached objects next to co-located compute.
-//! * [`platform`] — [`Platform`](platform::Platform): spawn / invoke /
+//! * [`platform`] — [`Platform`]: spawn / invoke /
 //!   store / ping / reclaim, with cumulative billing.
 //!
 //! The failure model matters: FLStore's fault-tolerance story (paper §4.5,

@@ -3,11 +3,20 @@
 //!
 //! This is the machinery behind every FLStore-vs-baseline figure: the same
 //! job, the same requests, the same virtual clock — only the serving
-//! architecture changes.
+//! architecture changes. Systems plug in through the unified front door
+//! ([`flstore_core::api::Service`]); the driver turns arrivals into typed
+//! [`Request`] envelopes and submits them through a configurable
+//! arrival-window batcher ([`BatchConfig`]) — batch size 1 reproduces
+//! strictly sequential serving, envelope for envelope.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
 
 use flstore_baselines::agg::AggregatorBaseline;
+use flstore_core::api::{Request, Response, Service};
 use flstore_core::store::FlStore;
-use flstore_fl::ids::{ClientId, JobId};
+use flstore_fl::ids::{ClientId, Round};
 use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
 use flstore_sim::cost::{Cost, CostBreakdown};
 use flstore_sim::rng::DetRng;
@@ -18,6 +27,13 @@ use flstore_workloads::service::RequestOutcome;
 use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
 
 /// Anything that can ingest FL rounds and serve non-training requests.
+///
+/// Superseded by the typed front door: implement (or use)
+/// [`flstore_core::api::Service`] instead, which keeps failures as typed
+/// [`flstore_core::api::ApiError`]s rather than erasing them to `None`,
+/// and serves batches. This trait remains as a thin shim over `Service`
+/// for callers not yet migrated.
+#[deprecated(note = "use flstore_core::api::Service: typed envelopes, batched submission")]
 pub trait ServingSystem {
     /// Architecture label for reports.
     fn label(&self) -> String;
@@ -37,54 +53,131 @@ pub trait ServingSystem {
     fn infra_cost(&mut self, now: SimTime) -> Cost;
 }
 
+/// Routes the legacy surface through the front door (single-tenant: the
+/// store's own job).
+#[allow(deprecated)]
 impl ServingSystem for FlStore {
     fn label(&self) -> String {
-        self.policy_name().to_string()
+        Service::label(self)
     }
 
     fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
-        FlStore::ingest_round(self, now, record);
+        let job = self.catalog().job();
+        self.submit(
+            now,
+            Request::Ingest {
+                job,
+                record: Arc::new(record.clone()),
+            },
+        );
     }
 
     fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome> {
-        FlStore::serve(self, now, request).ok().map(|s| s.measured)
+        match self.submit(now, Request::Serve(*request)) {
+            Response::Served(served) => Some(served.measured),
+            _ => None,
+        }
     }
 
     fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
-        self.total_cost(now)
+        Service::window_cost(self, now)
     }
 
     fn infra_cost(&mut self, now: SimTime) -> Cost {
-        // FLStore has no dedicated always-on servers; its standing cost is
-        // the keep-alive pings.
-        let _ = now;
-        self.platform().billing().keepalive_cost
+        Service::infra_cost(self, now)
     }
 }
 
+#[allow(deprecated)]
 impl ServingSystem for AggregatorBaseline {
     fn label(&self) -> String {
-        AggregatorBaseline::label(self).to_string()
+        Service::label(self)
     }
 
     fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
-        AggregatorBaseline::ingest_round(self, now, record);
+        let job = self.catalog().job();
+        self.submit(
+            now,
+            Request::Ingest {
+                job,
+                record: Arc::new(record.clone()),
+            },
+        );
     }
 
     fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome> {
-        AggregatorBaseline::serve(self, now, request)
-            .ok()
-            .map(|(_, m)| m)
+        match self.submit(now, Request::Serve(*request)) {
+            Response::Served(served) => Some(served.measured),
+            _ => None,
+        }
     }
 
     fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
-        self.total_cost(now)
+        Service::window_cost(self, now)
     }
 
     fn infra_cost(&mut self, now: SimTime) -> Cost {
-        AggregatorBaseline::infra_cost(self, now)
+        Service::infra_cost(self, now)
     }
 }
+
+/// One externally-supplied trace event: a non-training request arriving
+/// `t` seconds into the window.
+///
+/// The JSON-lines wire format (see [`TraceConfig::from_jsonl`]) is one
+/// object per line:
+///
+/// ```json
+/// {"t": 120.5, "workload": "Inference", "round": 3, "client": 7}
+/// ```
+///
+/// `round` and `client` are optional: a missing round targets the latest
+/// ingested round (the FL access pattern), and a missing client on a
+/// client-tracking (P3) workload falls back to the driver's rotating
+/// audit set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Arrival time, in seconds from the window start.
+    pub t: f64,
+    /// Which workload the request runs.
+    pub workload: WorkloadKind,
+    /// Explicit target round (defaults to the latest ingested round).
+    #[serde(default)]
+    pub round: Option<u32>,
+    /// Explicit target client (P3-class workloads).
+    #[serde(default)]
+    pub client: Option<u32>,
+}
+
+/// A malformed external trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The reader failed.
+    Io(String),
+    /// A line was not a valid trace event.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The trace contained no events.
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+            TraceError::Empty => write!(f, "trace contains no events"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Trace parameters: how many requests of which kinds over which window.
 #[derive(Debug, Clone)]
@@ -98,6 +191,10 @@ pub struct TraceConfig {
     pub window: SimDuration,
     /// Workload mix (requests cycle through these kinds uniformly).
     pub kinds: Vec<WorkloadKind>,
+    /// Explicit externally-loaded events. When present they replace the
+    /// synthetic arrival process and workload cycling entirely — the
+    /// driver replays exactly these requests at exactly these times.
+    pub events: Option<Vec<TraceEvent>>,
 }
 
 impl TraceConfig {
@@ -109,6 +206,7 @@ impl TraceConfig {
             requests: 3000,
             window: SimDuration::from_hours(50),
             kinds: WorkloadKind::ALL.to_vec(),
+            events: None,
         }
     }
 
@@ -119,7 +217,93 @@ impl TraceConfig {
             requests: 40,
             window: SimDuration::from_hours(1),
             kinds: WorkloadKind::ALL.to_vec(),
+            events: None,
         }
+    }
+
+    /// Loads an external trace from JSON-lines: one [`TraceEvent`] object
+    /// per line (blank lines and `#` comment lines are skipped). Events
+    /// are sorted by arrival time; the window extends one second past the
+    /// last arrival, and `kinds` lists the workloads in order of first
+    /// appearance.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when the reader fails, [`TraceError::Parse`]
+    /// for an invalid line (bad JSON, unknown workload, non-finite or
+    /// negative time), [`TraceError::Empty`] when no events remain.
+    pub fn from_jsonl<R: std::io::BufRead>(reader: R) -> Result<Self, TraceError> {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let event: TraceEvent = serde_json::from_str(line).map_err(|e| TraceError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            if !event.t.is_finite() || event.t < 0.0 {
+                return Err(TraceError::Parse {
+                    line: i + 1,
+                    message: format!("arrival time {} is not a non-negative number", event.t),
+                });
+            }
+            events.push(event);
+        }
+        if events.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("times are finite"));
+        let mut kinds: Vec<WorkloadKind> = Vec::new();
+        for e in &events {
+            if !kinds.contains(&e.workload) {
+                kinds.push(e.workload);
+            }
+        }
+        let horizon = events.last().expect("non-empty").t;
+        Ok(TraceConfig {
+            seed: 0,
+            requests: events.len(),
+            window: SimDuration::from_secs_f64(horizon) + SimDuration::from_secs(1),
+            kinds,
+            events: Some(events),
+        })
+    }
+}
+
+/// How the driver groups arrivals into [`Service::submit_batch`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum envelopes per batch (≥ 1). 1 submits every request the
+    /// instant it arrives — strictly sequential serving.
+    pub max_batch: usize,
+    /// Arrival window: a batch is flushed once the span between its first
+    /// and newest member reaches this duration, even if it is not full.
+    /// A stale batch straddling a quiet period is served at its window
+    /// deadline (`first arrival + window`), not held until the next
+    /// arrival, so no request is queued longer than the window.
+    pub window: SimDuration,
+}
+
+impl BatchConfig {
+    /// Strictly sequential serving (batch size 1) — reproduces the
+    /// pre-batching driver envelope for envelope.
+    pub const SEQUENTIAL: BatchConfig = BatchConfig {
+        max_batch: 1,
+        window: SimDuration::ZERO,
+    };
+
+    /// Batches of up to `max_batch` requests arriving within `window`.
+    pub fn new(max_batch: usize, window: SimDuration) -> Self {
+        BatchConfig { max_batch, window }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::SEQUENTIAL
     }
 }
 
@@ -181,42 +365,138 @@ impl DriveReport {
     }
 }
 
-/// Drives `system` through one FL job plus a request trace.
+/// Submits every pending serve envelope as one batch. The batch is
+/// stamped at `stamp` when given (a window deadline), clamped to no
+/// earlier than the newest member's arrival; otherwise at the newest
+/// member's arrival (every member has arrived by then either way).
+fn flush<S: Service + ?Sized>(
+    system: &mut S,
+    pending: &mut Vec<(SimTime, Request)>,
+    outcomes: &mut Vec<RequestOutcome>,
+    errors: &mut usize,
+    stamp: Option<SimTime>,
+) {
+    let Some(&(last_arrival, _)) = pending.last() else {
+        return;
+    };
+    let at = stamp.unwrap_or(last_arrival).max(last_arrival);
+    let requests: Vec<Request> = pending.drain(..).map(|(_, r)| r).collect();
+    for response in system.submit_batch(at, &requests) {
+        match response {
+            Response::Served(served) => outcomes.push(served.measured),
+            Response::Rejected(_) => *errors += 1,
+            // The driver only queues serve envelopes.
+            _ => {}
+        }
+    }
+}
+
+/// Drives `system` through one FL job plus a request trace, serving every
+/// request the instant it arrives (batch size 1).
 ///
 /// Rounds are ingested at an even cadence across the window; requests
 /// arrive Poisson. Each request targets the *latest ingested round* (the FL
 /// pattern the paper's policies exploit); P3 requests pick a tracked client
 /// from that round's participants, cycling through a small set of clients
-/// under audit.
-pub fn drive<S: ServingSystem>(
+/// under audit. An external trace ([`TraceConfig::from_jsonl`]) replaces
+/// the synthetic arrivals/targets with its explicit events.
+pub fn drive<S: Service>(
     system: &mut S,
     job_cfg: &FlJobConfig,
     trace: &TraceConfig,
 ) -> DriveReport {
+    drive_batched(system, job_cfg, trace, BatchConfig::SEQUENTIAL)
+}
+
+/// Like [`drive`], but groups arrivals through the front door's batched
+/// submission path: up to `batch.max_batch` requests arriving within
+/// `batch.window` are served as one [`Service::submit_batch`] call, so
+/// executors amortize fixed per-request work across the batch. Round
+/// ingests act as batch barriers — pending requests (which arrived
+/// earlier) are always served before the next round lands, preserving the
+/// sequential interleaving of ingest and serve traffic.
+pub fn drive_batched<S: Service>(
+    system: &mut S,
+    job_cfg: &FlJobConfig,
+    trace: &TraceConfig,
+    batch: BatchConfig,
+) -> DriveReport {
+    assert!(batch.max_batch >= 1, "batches need at least one slot");
     assert!(
-        !trace.kinds.is_empty(),
+        trace.events.is_some() || !trace.kinds.is_empty(),
         "trace needs at least one workload kind"
     );
     let mut sim = FlJobSim::new(job_cfg.clone());
     let mut rng = DetRng::stream(trace.seed, "trace-targets");
 
     let round_interval = trace.window.div_u64(u64::from(job_cfg.rounds.max(1)));
-    let arrivals =
-        crate::arrival::poisson_arrivals(trace.seed, SimTime::ZERO, trace.window, trace.requests);
+    let planned: Vec<(SimTime, Option<TraceEvent>)> = match &trace.events {
+        Some(events) => events
+            .iter()
+            .map(|e| {
+                (
+                    SimTime::ZERO + SimDuration::from_secs_f64(e.t),
+                    Some(e.clone()),
+                )
+            })
+            .collect(),
+        None => crate::arrival::poisson_arrivals(
+            trace.seed,
+            SimTime::ZERO,
+            trace.window,
+            trace.requests,
+        )
+        .into_iter()
+        .map(|at| (at, None))
+        .collect(),
+    };
 
-    let mut outcomes = Vec::with_capacity(trace.requests);
+    let mut outcomes = Vec::with_capacity(planned.len());
     let mut errors = 0usize;
     let mut next_round_at = SimTime::ZERO;
-    let mut latest: Option<RoundRecord> = None;
+    let mut latest: Option<Arc<RoundRecord>> = None;
     let mut audited: Vec<ClientId> = Vec::new();
     let mut request_seq = 0u64;
+    let mut pending: Vec<(SimTime, Request)> = Vec::new();
 
-    for at in arrivals {
-        // Ingest every round due before this arrival.
-        while next_round_at <= at {
+    for (at, event) in planned {
+        // Everything due before this arrival happens first, in time order.
+        // Two kinds of work can be due: a stale batch's window deadline (a
+        // timer would have flushed it — serve it there, so no queued
+        // request waits longer than `batch.window` past its batch's first
+        // arrival, and a late arrival starts a fresh batch instead of
+        // joining a stale one) and round ingests at their cadence (which
+        // barrier-flush pending requests, stamped at their arrival, before
+        // the round lands). Submissions stay clock-monotonic either way.
+        loop {
+            let deadline = pending
+                .first()
+                .map(|&(first, _)| first + batch.window)
+                .filter(|&d| d <= at);
+            let round_due = next_round_at <= at;
+            if let Some(d) = deadline {
+                if !round_due || d <= next_round_at {
+                    flush(system, &mut pending, &mut outcomes, &mut errors, Some(d));
+                    continue;
+                }
+            }
+            if !round_due {
+                break;
+            }
             match sim.next_round() {
                 Some(record) => {
-                    system.ingest_round(next_round_at, &record);
+                    flush(system, &mut pending, &mut outcomes, &mut errors, None);
+                    let record = Arc::new(record);
+                    let response = system.submit(
+                        next_round_at,
+                        Request::Ingest {
+                            job: job_cfg.job,
+                            record: record.clone(),
+                        },
+                    );
+                    if !response.is_ok() {
+                        errors += 1;
+                    }
                     latest = Some(record);
                     next_round_at += round_interval;
                 }
@@ -227,10 +507,14 @@ pub fn drive<S: ServingSystem>(
             errors += 1;
             continue;
         };
-        let kind = trace.kinds[request_seq as usize % trace.kinds.len()];
+        let kind = match &event {
+            Some(e) => e.workload,
+            None => trace.kinds[request_seq as usize % trace.kinds.len()],
+        };
         request_seq += 1;
+        let explicit_client = event.as_ref().and_then(|e| e.client).map(ClientId::new);
         let client = match kind.policy_class() {
-            PolicyClass::P3AcrossRounds => {
+            PolicyClass::P3AcrossRounds => explicit_client.or_else(|| {
                 // Audits focus on a rotating handful of clients.
                 if audited.len() < 4 {
                     let pick = record.updates[rng.index(record.updates.len())].client;
@@ -239,21 +523,28 @@ pub fn drive<S: ServingSystem>(
                     }
                 }
                 Some(audited[request_seq as usize % audited.len()])
-            }
-            _ => None,
+            }),
+            _ => explicit_client,
         };
+        let round = event
+            .as_ref()
+            .and_then(|e| e.round)
+            .map(Round::new)
+            .unwrap_or(record.round);
         let request = WorkloadRequest::new(
             RequestId::new(request_seq),
             kind,
-            JobId::new(job_cfg.job.as_u32()),
-            record.round,
+            job_cfg.job,
+            round,
             client,
         );
-        match system.serve_request(at, &request) {
-            Some(outcome) => outcomes.push(outcome),
-            None => errors += 1,
+        pending.push((at, Request::Serve(request)));
+        let span = at.duration_since(pending[0].0);
+        if pending.len() >= batch.max_batch || span >= batch.window {
+            flush(system, &mut pending, &mut outcomes, &mut errors, None);
         }
     }
+    flush(system, &mut pending, &mut outcomes, &mut errors, None);
 
     let end = SimTime::ZERO + trace.window;
     DriveReport {
@@ -272,6 +563,7 @@ mod tests {
     use flstore_baselines::agg::AggregatorConfig;
     use flstore_core::policy::TailoredPolicy;
     use flstore_core::store::FlStoreConfig;
+    use flstore_fl::ids::JobId;
     use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
 
     fn small_job() -> FlJobConfig {
@@ -364,5 +656,183 @@ mod tests {
             .map(|o| o.latency.total().as_secs_f64())
             .collect();
         assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn batch_size_one_is_the_sequential_driver() {
+        let job = small_job();
+        let trace = TraceConfig::smoke(11);
+        let mut a = flstore(&job);
+        let mut b = flstore(&job);
+        let ra = drive(&mut a, &job, &trace);
+        let rb = drive_batched(
+            &mut b,
+            &job,
+            &trace,
+            BatchConfig {
+                max_batch: 1,
+                window: SimDuration::from_hours(9),
+            },
+        );
+        assert_eq!(ra.outcomes, rb.outcomes);
+        assert_eq!(ra.errors, rb.errors);
+        assert_eq!(ra.total_cost, rb.total_cost);
+    }
+
+    #[test]
+    fn batched_drive_serves_the_full_trace() {
+        let job = small_job();
+        let trace = TraceConfig::smoke(13);
+        let mut sequential = flstore(&job);
+        let rs = drive(&mut sequential, &job, &trace);
+        for max_batch in [4, 16] {
+            let mut store = flstore(&job);
+            let report = drive_batched(
+                &mut store,
+                &job,
+                &trace,
+                BatchConfig::new(max_batch, SimDuration::from_secs(600)),
+            );
+            assert_eq!(
+                report.outcomes.len() + report.errors,
+                rs.outcomes.len() + rs.errors,
+                "batched drive dropped requests at max_batch={max_batch}"
+            );
+            // The same requests hit the same cached working set.
+            assert!((report.hit_rate() - rs.hit_rate()).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn stale_batches_flush_at_their_window_deadline() {
+        // One request arrives at t=10, the next at t=3000. With a 60 s
+        // window, the first must be served at its deadline (t=70) — not
+        // held for ~50 minutes and lumped into the next batch.
+        let events = vec![
+            TraceEvent {
+                t: 10.0,
+                workload: WorkloadKind::Inference,
+                round: None,
+                client: None,
+            },
+            TraceEvent {
+                t: 3000.0,
+                workload: WorkloadKind::Inference,
+                round: None,
+                client: None,
+            },
+        ];
+        let job = small_job();
+        let trace = TraceConfig {
+            seed: 1,
+            requests: events.len(),
+            window: SimDuration::from_secs(3100),
+            kinds: vec![WorkloadKind::Inference],
+            events: Some(events),
+        };
+        let mut store = flstore(&job);
+        let report = drive_batched(
+            &mut store,
+            &job,
+            &trace,
+            BatchConfig::new(16, SimDuration::from_secs(60)),
+        );
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.outcomes[0].arrived, SimTime::from_secs(70));
+        assert_eq!(report.outcomes[1].arrived, SimTime::from_secs(3000));
+
+        // Finer round cadence than the window: the round due at t=155
+        // precedes the t=210 deadline, so the pending request is
+        // barrier-flushed at its own arrival (t=10) before the ingest —
+        // the Service clock never runs backwards.
+        let events = vec![
+            TraceEvent {
+                t: 10.0,
+                workload: WorkloadKind::Inference,
+                round: None,
+                client: None,
+            },
+            TraceEvent {
+                t: 3000.0,
+                workload: WorkloadKind::Inference,
+                round: None,
+                client: None,
+            },
+        ];
+        let job = small_job();
+        let trace = TraceConfig {
+            seed: 1,
+            requests: events.len(),
+            window: SimDuration::from_secs(3100),
+            kinds: vec![WorkloadKind::Inference],
+            events: Some(events),
+        };
+        let mut store = flstore(&job);
+        let report = drive_batched(
+            &mut store,
+            &job,
+            &trace,
+            BatchConfig::new(16, SimDuration::from_secs(200)),
+        );
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.outcomes[0].arrived, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn jsonl_trace_round_trips_and_drives() {
+        let jsonl = "\
+# a hand-written external trace
+{\"t\": 30.0, \"workload\": \"Inference\"}
+{\"t\": 10.0, \"workload\": \"MaliciousFiltering\"}
+
+{\"t\": 45.5, \"workload\": \"Debugging\", \"client\": 2}
+{\"t\": 60.0, \"workload\": \"Inference\", \"round\": 0}
+";
+        let trace = TraceConfig::from_jsonl(jsonl.as_bytes()).expect("parses");
+        assert_eq!(trace.requests, 4);
+        let events = trace.events.as_ref().expect("loaded");
+        // Sorted by arrival.
+        assert_eq!(events[0].workload, WorkloadKind::MaliciousFiltering);
+        assert_eq!(events[3].round, Some(0));
+        assert_eq!(
+            trace.kinds,
+            vec![
+                WorkloadKind::MaliciousFiltering,
+                WorkloadKind::Inference,
+                WorkloadKind::Debugging,
+            ]
+        );
+        assert!(trace.window > SimDuration::from_secs(60));
+
+        let job = FlJobConfig {
+            rounds: 4,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        let mut store = flstore(&job);
+        let report = drive(&mut store, &job, &trace);
+        assert_eq!(report.outcomes.len() + report.errors, 4);
+        assert!(
+            report.outcomes.len() >= 3,
+            "served {}",
+            report.outcomes.len()
+        );
+    }
+
+    #[test]
+    fn jsonl_trace_rejects_bad_lines() {
+        assert!(matches!(
+            TraceConfig::from_jsonl("".as_bytes()),
+            Err(TraceError::Empty)
+        ));
+        let bad_kind = "{\"t\": 1.0, \"workload\": \"Nonsense\"}";
+        assert!(matches!(
+            TraceConfig::from_jsonl(bad_kind.as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        let bad_time = "{\"t\": -3.0, \"workload\": \"Inference\"}";
+        assert!(matches!(
+            TraceConfig::from_jsonl(bad_time.as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
     }
 }

@@ -5,10 +5,10 @@
 //! architecture:
 //!
 //! * [`arrival`] — uniform / Poisson / burst arrival processes.
-//! * [`driver`] — the [`ServingSystem`](driver::ServingSystem) trait
-//!   (implemented for `FlStore` and `AggregatorBaseline`), the
-//!   [`drive`](driver::drive) loop, and [`DriveReport`](driver::DriveReport)
-//!   summaries.
+//! * [`driver`] — the [`driver::drive`] / [`driver::drive_batched`] replay
+//!   loops over the unified front door (`flstore_core::api::Service`),
+//!   external JSON-lines traces ([`driver::TraceConfig::from_jsonl`]),
+//!   and [`driver::DriveReport`] summaries.
 //! * [`scenario`] — one preset per paper experiment: eval jobs, policy
 //!   variants, fault-injection deployments, the 50-hour trace.
 
@@ -19,5 +19,9 @@ pub mod arrival;
 pub mod driver;
 pub mod scenario;
 
-pub use driver::{drive, DriveReport, ServingSystem, TraceConfig};
+#[allow(deprecated)]
+pub use driver::ServingSystem;
+pub use driver::{
+    drive, drive_batched, BatchConfig, DriveReport, TraceConfig, TraceError, TraceEvent,
+};
 pub use scenario::PolicyVariant;

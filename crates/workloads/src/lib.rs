@@ -16,12 +16,12 @@
 //! | Reputation calc. | P3 | EWMA contribution history |
 //! | Sched. (Perf.) | P4 | Oort utility ranking |
 //!
-//! * [`taxonomy`] — [`WorkloadKind`](taxonomy::WorkloadKind),
-//!   [`PolicyClass`](taxonomy::PolicyClass), and compute calibration.
-//! * [`request`] — [`WorkloadRequest`](request::WorkloadRequest) and the
-//!   [`JobCatalog`](request::JobCatalog) that resolves data needs.
+//! * [`taxonomy`] — [`WorkloadKind`], [`PolicyClass`], and compute
+//!   calibration.
+//! * [`request`] — [`WorkloadRequest`] and the [`JobCatalog`] that
+//!   resolves data needs.
 //! * [`apps`] — the ten implementations (pure functions).
-//! * [`run`] — [`execute`](run::execute): storage-agnostic dispatch.
+//! * [`run`] — [`execute`]: storage-agnostic dispatch.
 //! * [`outputs`] / [`algorithms`] — typed results and shared kernels.
 
 #![warn(missing_docs)]

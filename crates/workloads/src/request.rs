@@ -45,8 +45,8 @@ pub const DEFAULT_P3_WINDOW: u32 = 4;
 /// Rounds of metadata a P4 request *reads*: the latest round's records
 /// (which carry cumulative per-client state). The paper's tunable `R`
 /// (default 10) governs how many rounds the tailored policy *retains*,
-/// not how many one request consumes — see
-/// [`flstore_core::policy::TailoredPolicy`]'s `p4_window`.
+/// not how many one request consumes — see `TailoredPolicy::p4_window`
+/// in `flstore-core`.
 pub const DEFAULT_P4_READ_WINDOW: u32 = 1;
 
 /// One non-training request.

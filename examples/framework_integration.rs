@@ -13,6 +13,7 @@
 use flstore_suite::fl::ids::JobId;
 use flstore_suite::fl::job::{FlJobConfig, FlJobSim, RoundRecord};
 use flstore_suite::sim::time::{SimDuration, SimTime};
+use flstore_suite::store::api::{Request, Response, Service};
 use flstore_suite::store::policy::TailoredPolicy;
 use flstore_suite::store::store::{FlStore, FlStoreConfig, ServedRequest};
 use flstore_suite::workloads::request::{RequestId, WorkloadRequest};
@@ -44,9 +45,16 @@ struct FlStoreSidecar {
 
 impl Strategy for FlStoreSidecar {
     fn on_round_complete(&mut self, now: SimTime, record: &RoundRecord) {
-        // Asynchronous relay of the aggregator's metadata (paper App. A):
-        // training latency is untouched.
-        self.store.ingest_round(now, record);
+        // Asynchronous relay of the aggregator's metadata (paper App. A)
+        // through the typed front door: training latency is untouched.
+        let job = self.store.catalog().job();
+        self.store.submit(
+            now,
+            Request::Ingest {
+                job,
+                record: std::sync::Arc::new(record.clone()),
+            },
+        );
     }
 
     fn on_operator_query(
@@ -54,7 +62,11 @@ impl Strategy for FlStoreSidecar {
         now: SimTime,
         request: &WorkloadRequest,
     ) -> Option<ServedRequest> {
-        self.store.serve(now, request).ok()
+        match self.store.submit(now, Request::Serve(*request)) {
+            Response::Served(served) => Some(*served),
+            // A real integration would surface the typed ApiError here.
+            _ => None,
+        }
     }
 }
 
@@ -123,6 +135,29 @@ fn main() {
             ),
             None => println!("  {:<18} -> unavailable", kind.label()),
         }
+    }
+
+    // The same front door answers admission and telemetry envelopes.
+    let now = framework.clock;
+    let foreign = WorkloadRequest::new(
+        RequestId::new(99),
+        WorkloadKind::Inference,
+        JobId::new(42),
+        last.round,
+        None,
+    );
+    if let Response::Rejected(err) = framework
+        .strategy
+        .store
+        .submit(now, Request::Serve(foreign))
+    {
+        println!("\nforeign-job query rejected at admission: {err}");
+    }
+    if let Response::Stats(stats) = framework.strategy.store.submit(now, Request::Stats) {
+        println!(
+            "front-door stats: {} served, hit rate {:.2}",
+            stats.served, stats.hit_rate
+        );
     }
 
     println!(

@@ -33,4 +33,19 @@ done
 if [ "$missing" -eq 0 ]; then
     echo "all $count figure outputs present in $dir/"
 fi
+
+# The bench inventory printed by `figures -- --list-benches` must list
+# exactly the [[bench]] targets declared in crates/bench/Cargo.toml —
+# adding a bench without inventorying it (or vice versa) fails here.
+listed="$(cargo run -q --release --bin figures -- --list-benches | cut -f1 | sort)"
+declared="$(awk '/^\[\[bench\]\]/{getline; sub(/^name = "/,""); sub(/"$/,""); print}' \
+    crates/bench/Cargo.toml | sort)"
+if [ "$listed" != "$declared" ]; then
+    echo "bench inventory drift:"
+    echo "  figures -- --list-benches: $(echo "$listed" | tr '\n' ' ')"
+    echo "  crates/bench/Cargo.toml:   $(echo "$declared" | tr '\n' ' ')"
+    missing=1
+else
+    echo "bench inventory in sync ($(echo "$listed" | wc -l) targets)"
+fi
 exit "$missing"

@@ -10,7 +10,8 @@
 #   3. cargo build --benches                   (tier1: Criterion benches compile)
 #   4. cargo clippy --all-targets -D warnings  (lint: BLOCKING, like CI)
 #   5. cargo fmt --check                       (lint: BLOCKING, like CI)
-#   6. figures smoke: every experiment id end-to-end at --fast scale into
+#   6. cargo doc --no-deps -D warnings         (lint: public API stays documented)
+#   7. figures smoke: every experiment id end-to-end at --fast scale into
 #      results-smoke/ (so full-scale results/ are never clobbered), then
 #      scripts/check_figures_outputs.sh — the same check CI runs.
 #      Skip with --skip-smoke for a quick edit-compile loop.
@@ -41,6 +42,9 @@ run cargo test -q
 run cargo build --benches
 run cargo clippy -q --all-targets -- -D warnings
 run cargo fmt --check
+echo
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 if [ "$skip_smoke" -eq 0 ]; then
     # Smoke outputs go to their own directory so this run can neither be

@@ -1,0 +1,99 @@
+//! External-trace replay: a JSON-lines trace file drives any serving
+//! system through the front door, and the same file produces the same
+//! report every time.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+use flstore_suite::baselines::agg::{AggregatorBaseline, AggregatorConfig};
+use flstore_suite::fl::ids::JobId;
+use flstore_suite::fl::job::FlJobConfig;
+use flstore_suite::sim::time::SimTime;
+use flstore_suite::store::policy::TailoredPolicy;
+use flstore_suite::store::store::{FlStore, FlStoreConfig};
+use flstore_suite::trace::driver::{drive, TraceConfig};
+use flstore_suite::workloads::taxonomy::WorkloadKind;
+
+fn fixture() -> TraceConfig {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/smoke_trace.jsonl");
+    let file = File::open(&path).unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+    TraceConfig::from_jsonl(BufReader::new(file)).expect("fixture parses")
+}
+
+fn job() -> FlJobConfig {
+    FlJobConfig {
+        rounds: 5,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    }
+}
+
+#[test]
+fn fixture_loads_with_expected_shape() {
+    let trace = fixture();
+    assert_eq!(trace.requests, 20);
+    let events = trace.events.as_ref().expect("explicit events");
+    assert_eq!(events.len(), 20);
+    // Sorted by time, all ten workloads represented.
+    assert!(events.windows(2).all(|w| w[0].t <= w[1].t));
+    assert_eq!(trace.kinds.len(), WorkloadKind::ALL.len());
+}
+
+#[test]
+fn jsonl_trace_drives_flstore_and_baseline() {
+    let job = job();
+    let trace = fixture();
+
+    let mut store = FlStore::new(
+        FlStoreConfig::for_model(&job.model),
+        Box::new(TailoredPolicy::new()),
+        job.job,
+        job.model,
+    );
+    let fl = drive(&mut store, &job, &trace);
+    assert_eq!(fl.outcomes.len() + fl.errors, trace.requests);
+    assert!(fl.outcomes.len() >= 18, "served {}", fl.outcomes.len());
+
+    let mut agg = AggregatorBaseline::new(
+        AggregatorConfig::objstore_agg(),
+        job.job,
+        job.model,
+        SimTime::ZERO,
+    );
+    let base = drive(&mut agg, &job, &trace);
+    assert_eq!(
+        base.outcomes.len(),
+        fl.outcomes.len(),
+        "same trace, same serve set"
+    );
+
+    // The architectural gap holds on external traces too.
+    let fl_mean = fl.latency_summary().expect("served").mean;
+    let base_mean = base.latency_summary().expect("served").mean;
+    assert!(
+        fl_mean < base_mean,
+        "FLStore {fl_mean}s vs baseline {base_mean}s"
+    );
+}
+
+#[test]
+fn jsonl_replay_is_deterministic() {
+    let job = job();
+    let trace_a = fixture();
+    let trace_b = fixture();
+    let mut a = FlStore::new(
+        FlStoreConfig::for_model(&job.model),
+        Box::new(TailoredPolicy::new()),
+        job.job,
+        job.model,
+    );
+    let mut b = FlStore::new(
+        FlStoreConfig::for_model(&job.model),
+        Box::new(TailoredPolicy::new()),
+        job.job,
+        job.model,
+    );
+    let ra = drive(&mut a, &job, &trace_a);
+    let rb = drive(&mut b, &job, &trace_b);
+    assert_eq!(ra.outcomes, rb.outcomes);
+}

@@ -208,7 +208,7 @@ impl_tuple_strategy!(
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Acceptable length specs for [`vec`]: a fixed length or a range.
+    /// Acceptable length specs for [`vec()`](fn@vec): a fixed length or a range.
     pub trait IntoSizeRange {
         /// Lower and upper (exclusive) length bounds.
         fn bounds(&self) -> (usize, usize);
@@ -239,7 +239,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
