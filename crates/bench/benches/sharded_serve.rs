@@ -1,0 +1,124 @@
+//! Criterion: sharded-executor scaling on the overhead-bound
+//! same-replica-set workload. One wave of cache-hit tier-scheduling
+//! requests (sub-µs kernel: serve cost is almost entirely fixed
+//! front-door work) spread tenant-major over 16 tenants, served by:
+//!
+//! * the sequential `MultiTenantStore` front end (per-tenant
+//!   `serve_batch` runs, single thread), and
+//! * a `ShardedExecutor` at 1/2/4/8 shards (same per-tenant runs, fanned
+//!   across worker threads).
+//!
+//! The executor's responses are bit-for-bit identical to the sequential
+//! plane (enforced by `crates/core/tests/api_batch.rs`); this bench
+//! quantifies the wall-clock side. Scaling is bounded by available cores
+//! (`std::thread::available_parallelism`) and by the busiest shard's
+//! tenant share (16 jobs hash to at most 6 on one shard at 4 shards).
+//! The stand-in criterion reports p50/p95/p99 alongside mean/best.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::api::{Request, Service};
+use flstore_core::store::FlStoreConfig;
+use flstore_core::tenancy::MultiTenantStore;
+use flstore_exec::ShardedExecutor;
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim};
+use flstore_fl::zoo::ModelArch;
+use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::WorkloadKind;
+
+const TENANTS: u32 = 16;
+
+fn loaded_front() -> (MultiTenantStore, flstore_fl::ids::Round) {
+    let template = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&ModelArch::RESNET18)
+    };
+    let mut front = MultiTenantStore::new(template);
+    let mut last = flstore_fl::ids::Round::ZERO;
+    for j in 1..=TENANTS {
+        let cfg = FlJobConfig {
+            rounds: 6,
+            ..FlJobConfig::quick_test(JobId::new(j))
+        };
+        front.register_job(cfg.job, cfg.model);
+        let mut now = SimTime::ZERO;
+        for record in FlJobSim::new(cfg.clone()) {
+            last = record.round;
+            front
+                .ingest_round(now, cfg.job, &record)
+                .expect("registered");
+            now += SimDuration::from_secs(60);
+        }
+    }
+    (front, last)
+}
+
+/// One wave: `per_tenant` consecutive cache-hit requests per tenant
+/// (tenant-major, so both planes group them into per-tenant `serve_batch`
+/// runs — the comparison isolates parallelism, not batching).
+fn wave(first_id: u64, per_tenant: u64, round: flstore_fl::ids::Round) -> Vec<Request> {
+    let mut requests = Vec::with_capacity((TENANTS as u64 * per_tenant) as usize);
+    let mut id = first_id;
+    for j in 1..=TENANTS {
+        for _ in 0..per_tenant {
+            requests.push(Request::Serve(WorkloadRequest::new(
+                RequestId::new(id),
+                WorkloadKind::SchedulingCluster,
+                JobId::new(j),
+                round,
+                None,
+            )));
+            id += 1;
+        }
+    }
+    requests
+}
+
+fn bench_sharded_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_serve");
+    group.sample_size(20);
+
+    // Small and large waves: the small wave exposes the executor's fixed
+    // per-batch fan-out/merge overhead, the large one amortizes it so
+    // scaling tracks cores × shard balance.
+    for per_tenant in [4u64, 16] {
+        let n = TENANTS as u64 * per_tenant;
+        group.bench_function(&format!("sequential_x{n}"), |b| {
+            let (mut front, round) = loaded_front();
+            let mut now = SimTime::from_secs(3600);
+            let mut id = 0u64;
+            b.iter(|| {
+                now += SimDuration::from_secs(60);
+                let requests = wave(id, per_tenant, round);
+                id += n;
+                black_box(front.submit_batch(now, &requests));
+            });
+        });
+
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_function(&format!("sharded{shards}_x{n}"), |b| {
+                let (front, round) = loaded_front();
+                let mut exec = ShardedExecutor::from_tenants(front, shards);
+                let mut now = SimTime::from_secs(3600);
+                let mut id = 0u64;
+                b.iter(|| {
+                    now += SimDuration::from_secs(60);
+                    let requests = wave(id, per_tenant, round);
+                    id += n;
+                    black_box(exec.submit_batch(now, &requests));
+                });
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_serve);
+criterion_main!(benches);

@@ -47,7 +47,16 @@ const BENCHES: &[(&str, &str)] = &[
         "batch_serve",
         "batched vs sequential serving of same-replica-set requests",
     ),
+    (
+        "sharded_serve",
+        "sharded-executor scaling (1/2/4/8 shards) vs sequential serve_batch",
+    ),
 ];
+
+/// The statistics every bench target reports per benchmark (the vendored
+/// criterion stand-in): printed as the third `--list-benches` column so
+/// tooling knows tail latency (p95/p99) is available.
+const BENCH_STATS: &str = "mean/best/p50/p95/p99";
 
 /// Aliases: a figure produced jointly with another maps to the same run.
 const ALIASES: &[(&str, &str)] = &[
@@ -69,19 +78,47 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--list-benches") {
-        // Machine-readable bench inventory: one Criterion target per line.
+        // Machine-readable bench inventory: one Criterion target per line,
+        // tab-separated: name, what it measures, statistics reported.
         for (name, what) in BENCHES {
-            println!("{name}\t{what}");
+            println!("{name}\t{what}\t{BENCH_STATS}");
         }
         return;
     }
     let fast = args.iter().any(|a| a == "--fast");
     let scale = if fast { Scale::Fast } else { Scale::Full };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "--fast")
-        .map(|s| s.as_str())
-        .collect();
+
+    // `--threads N`: serve every experiment through an N-shard concurrent
+    // executor. Outputs are byte-identical to a sequential run (the
+    // executor is bit-for-bit equivalent; CI diffs both runs to prove it).
+    let mut threads = 1usize;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--fast" {
+            continue;
+        }
+        if arg == "--threads" {
+            threads = iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive shard count");
+                    std::process::exit(2);
+                });
+            continue;
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("--threads needs a positive shard count");
+                std::process::exit(2);
+            });
+            continue;
+        }
+        targets.push(arg.as_str());
+    }
+    flstore_bench::util::set_serving_threads(threads);
 
     let resolve = |name: &str| -> Option<&'static str> {
         if let Some((n, _, _)) = EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
@@ -124,6 +161,9 @@ fn main() {
         "FLStore reproduction — experiment harness ({} scale)",
         if fast { "fast" } else { "paper" }
     );
+    if threads > 1 {
+        println!("serving plane: sharded executor, {threads} worker threads");
+    }
     for name in to_run {
         let run = EXPERIMENTS
             .iter()

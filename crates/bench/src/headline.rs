@@ -5,11 +5,11 @@ use serde_json::{json, Value};
 
 use flstore_fl::zoo::ModelArch;
 use flstore_sim::stats::{reduction_pct, Summary};
-use flstore_trace::driver::{drive, DriveReport};
+use flstore_trace::driver::DriveReport;
 use flstore_trace::scenario::{cache_agg, eval_job, flstore_for, objstore_agg, PolicyVariant};
 use flstore_workloads::taxonomy::WorkloadKind;
 
-use crate::util::{dollars, header, save_json, secs, subheader, Scale};
+use crate::util::{dollars, drive_unit, header, save_json, secs, subheader, Scale};
 
 /// Per-workload latency and amortized-cost summaries of one drive.
 fn kind_rows(report: &DriveReport, kinds: &[WorkloadKind]) -> Vec<Value> {
@@ -80,14 +80,15 @@ fn run_pair(model: ModelArch, scale: Scale, baseline: &str) -> (DriveReport, Dri
         },
         events: None,
     };
-    let mut fl = flstore_for(&job, PolicyVariant::Tailored, 0xF1);
-    let fl_report = drive(&mut fl, &job, &trace);
+    let (fl_report, _) = drive_unit(
+        flstore_for(&job, PolicyVariant::Tailored, 0xF1),
+        &job,
+        &trace,
+    );
     let base_report = if baseline == "cache" {
-        let mut base = cache_agg(&job);
-        drive(&mut base, &job, &trace)
+        drive_unit(cache_agg(&job), &job, &trace).0
     } else {
-        let mut base = objstore_agg(&job);
-        drive(&mut base, &job, &trace)
+        drive_unit(objstore_agg(&job), &job, &trace).0
     };
     (fl_report, base_report)
 }

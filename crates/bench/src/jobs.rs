@@ -6,10 +6,14 @@
 //! grows linearly with active tenants instead of requiring a bigger
 //! always-on aggregator.
 
+use std::sync::Arc;
+
 use serde_json::{json, Value};
 
+use flstore_core::api::{Request, Response, Service};
 use flstore_core::store::FlStoreConfig;
 use flstore_core::tenancy::MultiTenantStore;
+use flstore_exec::ShardedExecutor;
 use flstore_fl::ids::JobId;
 use flstore_fl::job::{FlJobConfig, FlJobSim};
 use flstore_fl::zoo::ModelArch;
@@ -18,7 +22,7 @@ use flstore_sim::time::{SimDuration, SimTime};
 use flstore_workloads::request::{RequestId, WorkloadRequest};
 use flstore_workloads::taxonomy::WorkloadKind;
 
-use crate::util::{dollars, header, save_json, secs, Scale};
+use crate::util::{dollars, header, save_json, secs, serving_threads, Scale};
 
 const ROUNDS: u32 = 20;
 const REQUESTS_PER_JOB: usize = 20;
@@ -32,6 +36,12 @@ fn job_cfg(job: u32) -> FlJobConfig {
 
 /// Runs `n_jobs` tenants through training + a request mix; returns
 /// (mean per-request latency secs, total cost dollars).
+///
+/// The tenants serve through the typed front door; with
+/// `figures -- --threads N` the front end is split across an N-shard
+/// `ShardedExecutor`, so each request wave fans out across worker
+/// threads. The executor is bit-for-bit equivalent to the sequential
+/// front end, so the figure's numbers do not depend on the thread count.
 fn run_tenants(n_jobs: u32) -> (f64, f64) {
     let template = FlStoreConfig {
         platform: PlatformConfig {
@@ -47,6 +57,19 @@ fn run_tenants(n_jobs: u32) -> (f64, f64) {
         front.register_job(cfg.job, cfg.model);
         sims.push((cfg.job, FlJobSim::new(cfg)));
     }
+    let threads = serving_threads();
+    if threads > 1 {
+        let mut exec = ShardedExecutor::from_tenants(front, threads);
+        run_tenant_waves(&mut exec, sims)
+    } else {
+        run_tenant_waves(&mut front, sims)
+    }
+}
+
+/// The experiment body, generic over the serving plane (sequential
+/// front end or sharded executor).
+fn run_tenant_waves<S: Service>(front: &mut S, mut sims: Vec<(JobId, FlJobSim)>) -> (f64, f64) {
+    let n_jobs = sims.len() as u32;
 
     // Interleaved training: all jobs progress in lockstep.
     let mut now = SimTime::ZERO;
@@ -55,14 +78,22 @@ fn run_tenants(n_jobs: u32) -> (f64, f64) {
         for (job, sim) in sims.iter_mut() {
             if let Some(record) = sim.next_round() {
                 last_round = Some(record.round);
-                front.ingest_round(now, *job, &record).expect("registered");
+                let response = front.submit(
+                    now,
+                    Request::Ingest {
+                        job: *job,
+                        record: Arc::new(record),
+                    },
+                );
+                assert!(response.is_ok(), "registered tenants ingest");
             }
         }
         now += SimDuration::from_secs(120);
     }
     let round = last_round.expect("trained");
 
-    // Every tenant receives the same request mix concurrently.
+    // Every tenant receives the same request mix concurrently: each wave
+    // is one batch of `n_jobs` simultaneous requests, one per tenant.
     let mut lat_sum = 0.0;
     let mut served = 0usize;
     let mut req_id = 0u64;
@@ -71,18 +102,26 @@ fn run_tenants(n_jobs: u32) -> (f64, f64) {
         if kind.policy_class() == flstore_workloads::taxonomy::PolicyClass::P3AcrossRounds {
             continue; // client-specific audits are covered elsewhere
         }
+        let mut wave = Vec::with_capacity(n_jobs as usize);
         for j in 1..=n_jobs {
             req_id += 1;
-            let request =
-                WorkloadRequest::new(RequestId::new(req_id), kind, JobId::new(j), round, None);
-            if let Ok(done) = front.serve(now, &request) {
+            wave.push(Request::Serve(WorkloadRequest::new(
+                RequestId::new(req_id),
+                kind,
+                JobId::new(j),
+                round,
+                None,
+            )));
+        }
+        for response in front.submit_batch(now, &wave) {
+            if let Response::Served(done) = response {
                 lat_sum += done.measured.latency.total().as_secs_f64();
                 served += 1;
             }
         }
         now += SimDuration::from_secs(60);
     }
-    let total = front.total_cost(now).total().as_dollars();
+    let total = front.window_cost(now).total().as_dollars();
     (lat_sum / served.max(1) as f64, total)
 }
 

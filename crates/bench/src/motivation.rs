@@ -6,11 +6,11 @@ use serde_json::{json, Value};
 
 use flstore_fl::job::{FlJobConfig, FlJobSim};
 use flstore_sim::stats::reduction_pct;
-use flstore_trace::driver::{drive, DriveReport, TraceConfig};
+use flstore_trace::driver::{DriveReport, TraceConfig};
 use flstore_trace::scenario::{flstore_for, objstore_agg, PolicyVariant};
 use flstore_workloads::taxonomy::WorkloadKind;
 
-use crate::util::{dollars, header, save_json, secs, Scale};
+use crate::util::{dollars, drive_unit, header, save_json, secs, Scale};
 
 /// Aggregator-side seconds spent per training round (receiving updates and
 /// running FedAvg) — the only part of training the aggregator bills for.
@@ -90,10 +90,12 @@ pub fn fig1_fig2_fig10(scale: Scale) -> Value {
         kinds: WorkloadKind::ALL.to_vec(),
         events: None,
     };
-    let mut base = objstore_agg(&job);
-    let base_report = drive(&mut base, &job, &trace);
-    let mut fl = flstore_for(&job, PolicyVariant::Tailored, 0xF2);
-    let fl_report = drive(&mut fl, &job, &trace);
+    let (base_report, _) = drive_unit(objstore_agg(&job), &job, &trace);
+    let (fl_report, _) = drive_unit(
+        flstore_for(&job, PolicyVariant::Tailored, 0xF2),
+        &job,
+        &trace,
+    );
 
     let base_rows = per_kind_means(&base_report);
     let fl_rows = per_kind_means(&fl_report);

@@ -9,12 +9,12 @@ use flstore_fl::job::{FlJobConfig, FlJobSim};
 use flstore_fl::zoo::ModelArch;
 use flstore_sim::stats::reduction_pct;
 use flstore_sim::time::{SimDuration, SimTime};
-use flstore_trace::driver::{drive, TraceConfig};
+use flstore_trace::driver::TraceConfig;
 use flstore_trace::scenario::{eval_job, flstore_for, PolicyVariant};
 use flstore_workloads::request::{RequestId, WorkloadRequest};
 use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
 
-use crate::util::{dollars, header, save_json, secs, subheader, Scale};
+use crate::util::{dollars, drive_unit, header, save_json, secs, subheader, Scale};
 
 /// Fig. 11: per-request latency and cost of the policy variants.
 pub fn fig11(scale: Scale) -> Value {
@@ -33,8 +33,7 @@ pub fn fig11(scale: Scale) -> Value {
     );
     let mut rows = Vec::new();
     for variant in PolicyVariant::FIG11 {
-        let mut store = flstore_for(&job, variant, 0xF3);
-        let report = drive(&mut store, &job, &trace);
+        let (report, _) = drive_unit(flstore_for(&job, variant, 0xF3), &job, &trace);
         let lat = report.latency_summary().expect("served");
         let cost = report.amortized_cost_summary().expect("served");
         println!(

@@ -8,12 +8,12 @@ use flstore_fl::job::{FlJobConfig, FlJobSim};
 use flstore_fl::zoo::ModelArch;
 use flstore_serverless::platform::ReclaimModel;
 use flstore_sim::time::{SimDuration, SimTime};
-use flstore_trace::driver::{drive, TraceConfig};
+use flstore_trace::driver::TraceConfig;
 use flstore_trace::scenario::{eval_job, flstore_with_faults};
 use flstore_workloads::request::{RequestId, WorkloadRequest};
 use flstore_workloads::taxonomy::WorkloadKind;
 
-use crate::util::{dollars, header, save_json, secs, subheader, Scale};
+use crate::util::{dollars, drive_unit, header, save_json, secs, subheader, Scale};
 
 /// Fig. 12's workload set.
 const FIG12_WORKLOADS: [WorkloadKind; 5] = [
@@ -112,8 +112,11 @@ pub fn fig13_fig14(scale: Scale) -> Value {
     );
     let mut rows = Vec::new();
     for fi in 1..=5usize {
-        let mut store = flstore_with_faults(&job, fi, reclaim, 0xF6 + fi as u64);
-        let report = drive(&mut store, &job, &trace);
+        let (report, store) = drive_unit(
+            flstore_with_faults(&job, fi, reclaim, 0xF6 + fi as u64),
+            &job,
+            &trace,
+        );
         let lat = report.latency_summary().expect("served");
         let misses: u64 = report.outcomes.iter().map(|o| o.cache_misses as u64).sum();
         let miss_rate = misses as f64 / report.outcomes.len().max(1) as f64;

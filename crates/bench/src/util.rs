@@ -1,9 +1,44 @@
-//! Report formatting and result persistence.
+//! Report formatting, result persistence, and the experiment-wide
+//! serving-parallelism knob.
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use flstore_exec::ShardUnit;
+use flstore_fl::job::FlJobConfig;
+use flstore_trace::driver::{drive_parallel, BatchConfig, DriveReport, TraceConfig};
 use serde_json::Value;
+
+/// Worker shards the experiments serve through (`figures -- --threads N`).
+/// 1 (the default) drives every system in-thread, exactly as before the
+/// parallel plane existed.
+static SERVING_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the shard count every subsequent drive uses (clamped to ≥ 1).
+pub fn set_serving_threads(n: usize) {
+    SERVING_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The configured shard count.
+pub fn serving_threads() -> usize {
+    SERVING_THREADS.load(Ordering::Relaxed)
+}
+
+/// Drives a serving system through the trace, honouring the `--threads`
+/// knob: with N > 1 the system serves behind an N-shard
+/// `flstore_exec::ShardedExecutor`. The executor is bit-for-bit
+/// equivalent to sequential submission, so figure data is byte-identical
+/// either way — that equivalence is CI-enforced by diffing sequential
+/// and `--threads 4` runs. Returns the report plus the system itself for
+/// post-drive inspection.
+pub fn drive_unit<U: ShardUnit + 'static>(
+    unit: U,
+    job: &FlJobConfig,
+    trace: &TraceConfig,
+) -> (DriveReport, U) {
+    drive_parallel(unit, job, trace, BatchConfig::SEQUENTIAL, serving_threads())
+}
 
 /// Experiment scale: `Full` reproduces the paper's parameters; `Fast`
 /// divides rounds/requests by ten for quick smoke runs.

@@ -85,3 +85,20 @@ pub use policy::{
 pub use store::{FlStore, FlStoreConfig, IngestReceipt, ServedRequest};
 pub use tenancy::MultiTenantStore;
 pub use tracker::RequestTracker;
+
+// Thread-ownership audit: serving state crosses thread boundaries by
+// ownership transfer (whole deployments move onto executor workers), the
+// tracker is shared behind its internal `RwLock`, and envelopes travel
+// over channels. These bounds are what the sharded execution plane relies
+// on; breaking any of them (an `Rc`, a `RefCell`, a non-`Send` policy) is
+// a compile error here rather than deep inside an executor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<store::FlStore>();
+    assert_send::<tenancy::MultiTenantStore>();
+    assert_send::<Box<dyn policy::CachingPolicy>>();
+    assert_send_sync::<tracker::RequestTracker>();
+    assert_send_sync::<api::Request>();
+    assert_send_sync::<api::Response>();
+};

@@ -46,7 +46,12 @@ impl PolicyActions {
 }
 
 /// A caching policy driving the FLStore cache.
-pub trait CachingPolicy: fmt::Debug {
+///
+/// Policies are `Send`: an [`FlStore`](crate::store::FlStore) (which owns
+/// its policy as a boxed trait object) must be movable onto an executor's
+/// worker thread, so the whole deployment — policy included — crosses
+/// thread boundaries by ownership transfer.
+pub trait CachingPolicy: fmt::Debug + Send {
     /// Human-readable name (figure labels use it).
     fn name(&self) -> &'static str;
 

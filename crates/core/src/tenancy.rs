@@ -57,6 +57,39 @@ impl MultiTenantStore {
         self.tenants.len()
     }
 
+    /// The configuration template per-tenant deployments derive from.
+    pub fn template(&self) -> &FlStoreConfig {
+        &self.template
+    }
+
+    /// Consumes the front end, yielding every tenant store in job order —
+    /// the hand-off point for executors that distribute tenants across
+    /// worker threads (each tenant is an isolated deployment, so ownership
+    /// of a tenant is ownership of its whole serving state).
+    pub fn into_tenants(self) -> Vec<(JobId, FlStore)> {
+        self.tenants.into_iter().collect()
+    }
+
+    /// Adopts an existing deployment as the tenant for its own job
+    /// (the inverse of [`MultiTenantStore::into_tenants`]).
+    ///
+    /// # Errors
+    ///
+    /// If the job is already registered the deployment is handed back
+    /// untouched — nothing is dropped or replaced.
+    // The large Err variant IS the point: the rejected deployment (cache,
+    // ledger, platform — state that must not be silently dropped) returns
+    // to the caller by value, exactly as `into_tenants` handed it out.
+    #[allow(clippy::result_large_err)]
+    pub fn adopt(&mut self, store: FlStore) -> Result<(), FlStore> {
+        let job = store.catalog().job();
+        if self.tenants.contains_key(&job) {
+            return Err(store);
+        }
+        self.tenants.insert(job, store);
+        Ok(())
+    }
+
     /// Registered job ids, in order.
     pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
         self.tenants.keys().copied()
@@ -222,6 +255,53 @@ mod tests {
         }
         // Tenants do not share functions.
         assert!(t1.platform().instance_count() > 0);
+    }
+
+    #[test]
+    fn into_tenants_and_adopt_round_trip() {
+        let mut front = MultiTenantStore::new(template());
+        let last1 = run_job(&mut front, JobId::new(1));
+        run_job(&mut front, JobId::new(2));
+        let tmpl = front.template().clone();
+
+        // Split the front end into owned deployments (the executor
+        // hand-off) and rebuild an identical front from the parts.
+        let tenants = front.into_tenants();
+        assert_eq!(
+            tenants.iter().map(|(j, _)| *j).collect::<Vec<_>>(),
+            vec![JobId::new(1), JobId::new(2)]
+        );
+        let mut rebuilt = MultiTenantStore::new(tmpl);
+        for (job, store) in tenants {
+            assert_eq!(store.catalog().job(), job);
+            rebuilt.adopt(store).expect("jobs are distinct");
+        }
+        assert_eq!(rebuilt.tenant_count(), 2);
+
+        // The rebuilt front serves exactly what the original did.
+        let req = WorkloadRequest::new(
+            RequestId::new(9),
+            WorkloadKind::MaliciousFiltering,
+            JobId::new(1),
+            last1,
+            None,
+        );
+        let served = rebuilt
+            .serve(SimTime::from_secs(3600), &req)
+            .expect("tenant state survived the round trip");
+        assert_eq!(served.measured.cache_misses, 0);
+
+        // Adopting a duplicate hands the deployment back untouched.
+        let extra = {
+            let mut solo = MultiTenantStore::new(template());
+            run_job(&mut solo, JobId::new(1));
+            solo.into_tenants().remove(0).1
+        };
+        let extra_served = extra.ledger().len();
+        let returned = rebuilt.adopt(extra).expect_err("job 1 already registered");
+        assert_eq!(returned.catalog().job(), JobId::new(1));
+        assert_eq!(returned.ledger().len(), extra_served);
+        assert_eq!(rebuilt.tenant_count(), 2);
     }
 
     #[test]

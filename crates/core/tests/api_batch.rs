@@ -3,6 +3,11 @@
 //! (batch size 1) at the same instant — same responses, same ledger
 //! entries, same costs, same cache state.
 //!
+//! The same harness holds the line for the *parallel* serving plane: a
+//! `flstore_exec::ShardedExecutor` (any shard count) wrapping the same
+//! deployments must be bit-for-bit identical to sequential submission —
+//! responses, ledgers, window costs, and cache fingerprints.
+//!
 //! Deployments run with reclamation disabled (the figure-generation
 //! setup): batching is *defined* to share one liveness pass across a
 //! batch, so under fault injection a batch may attribute one fault to
@@ -14,6 +19,8 @@ use proptest::prelude::*;
 use flstore_core::api::{Request, Response, Service};
 use flstore_core::policy::TailoredPolicy;
 use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_core::tenancy::MultiTenantStore;
+use flstore_exec::ShardedExecutor;
 use flstore_fl::ids::JobId;
 use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
 use flstore_fl::metadata::MetaKey;
@@ -177,6 +184,145 @@ fn assert_equivalent(limited: bool, seed: u64, len: usize) {
     );
 }
 
+/// Shard counts every parallel property sweeps.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Single-tenant plane: a sharded executor wrapping one deployment must
+/// be bit-for-bit identical to sequential submission on an identically
+/// loaded deployment — for every shard count.
+fn assert_sharded_single_tenant_equivalent(limited: bool, seed: u64, len: usize) {
+    let (mut sequential, records) = loaded_store(limited);
+    let mix = request_mix(seed, len, &records);
+    let now = SimTime::from_secs(7200);
+    let sequential_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| sequential.submit(now, r.clone()))
+        .collect();
+    let sequential_cost = sequential.total_cost(now);
+
+    for shards in SHARD_COUNTS {
+        let (parallel, _) = loaded_store(limited);
+        let mut exec = ShardedExecutor::new(vec![parallel], shards);
+        let responses = exec.submit_batch(now, &mix);
+        assert_eq!(
+            responses, sequential_responses,
+            "responses @{shards} shards"
+        );
+        assert_eq!(Service::window_cost(&mut exec, now), sequential_cost);
+        let store = exec.into_units().pop().expect("unit returned");
+        assert_eq!(
+            store.ledger().outcomes,
+            sequential.ledger().outcomes,
+            "ledger @{shards} shards"
+        );
+        assert_eq!(
+            cache_fingerprint(&store),
+            cache_fingerprint(&sequential),
+            "cache state @{shards} shards"
+        );
+    }
+}
+
+const TENANT_JOBS: [u32; 3] = [1, 2, 5];
+
+/// A multi-tenant front end with every tenant trained up to (but not
+/// including) its last round, plus the per-tenant record sets.
+fn loaded_front() -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
+    let template = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&job_config().model)
+    };
+    let mut front = MultiTenantStore::new(template);
+    let mut per_job = Vec::new();
+    for job in TENANT_JOBS {
+        let cfg = FlJobConfig {
+            rounds: 4,
+            ..FlJobConfig::quick_test(JobId::new(job))
+        };
+        front.register_job(cfg.job, cfg.model);
+        let records: Vec<RoundRecord> = FlJobSim::new(cfg.clone()).collect();
+        let mut now = SimTime::ZERO;
+        for r in &records[..records.len() - 1] {
+            front.ingest_round(now, cfg.job, r).expect("registered");
+            now += SimDuration::from_secs(60);
+        }
+        per_job.push(records);
+    }
+    (front, per_job)
+}
+
+/// Re-targets a single-tenant mix across the registered tenants (plus the
+/// foreign job 77 and system-wide Stats the generator already emits), so
+/// consecutive envelopes hop between shards.
+fn tenant_mix(seed: u64, len: usize, per_job: &[Vec<RoundRecord>]) -> Vec<Request> {
+    let mut rng = DetRng::stream(seed, "api-batch-tenant-mix");
+    (0..len)
+        .map(|i| {
+            let t = rng.index(per_job.len());
+            let job = JobId::new(TENANT_JOBS[t]);
+            let mut request = request_mix(seed.wrapping_add(i as u64), 1, &per_job[t])
+                .pop()
+                .expect("one envelope");
+            match &mut request {
+                Request::Ingest { job: j, .. } => *j = job,
+                Request::Serve(w) => {
+                    if w.job == JobId::new(JOB) {
+                        w.job = job;
+                    }
+                }
+                Request::Evict(key) => key.job = job,
+                Request::Stats => {}
+            }
+            request
+        })
+        .collect()
+}
+
+/// Multi-tenant plane: the sharded executor over the front end's tenants
+/// must be bit-for-bit identical to sequentially submitting to the front
+/// end — per-tenant ledgers and cache state included.
+fn assert_sharded_multi_tenant_equivalent(seed: u64, len: usize) {
+    let (mut sequential, per_job) = loaded_front();
+    let mix = tenant_mix(seed, len, &per_job);
+    let now = SimTime::from_secs(7200);
+    let sequential_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| sequential.submit(now, r.clone()))
+        .collect();
+    let sequential_cost = sequential.total_cost(now);
+
+    for shards in SHARD_COUNTS {
+        let (parallel, _) = loaded_front();
+        let mut exec = ShardedExecutor::from_tenants(parallel, shards);
+        let responses = exec.submit_batch(now, &mix);
+        assert_eq!(
+            responses, sequential_responses,
+            "responses @{shards} shards"
+        );
+        assert_eq!(Service::window_cost(&mut exec, now), sequential_cost);
+        for store in exec.into_units() {
+            let tenant = sequential
+                .tenant(store.catalog().job())
+                .expect("same tenants");
+            assert_eq!(
+                store.ledger().outcomes,
+                tenant.ledger().outcomes,
+                "ledger of {} @{shards} shards",
+                store.catalog().job()
+            );
+            assert_eq!(
+                cache_fingerprint(&store),
+                cache_fingerprint(tenant),
+                "cache state of {} @{shards} shards",
+                store.catalog().job()
+            );
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn batch_equals_sequential_unconstrained(seed in 0u64..1_000_000, len in 1usize..24) {
@@ -186,5 +332,20 @@ proptest! {
     #[test]
     fn batch_equals_sequential_under_capacity_pressure(seed in 0u64..1_000_000, len in 1usize..24) {
         assert_equivalent(true, seed, len);
+    }
+
+    #[test]
+    fn sharded_executor_equals_sequential_single_tenant(seed in 0u64..1_000_000, len in 1usize..16) {
+        assert_sharded_single_tenant_equivalent(false, seed, len);
+    }
+
+    #[test]
+    fn sharded_executor_equals_sequential_under_capacity_pressure(seed in 0u64..1_000_000, len in 1usize..12) {
+        assert_sharded_single_tenant_equivalent(true, seed, len);
+    }
+
+    #[test]
+    fn sharded_executor_equals_sequential_multi_tenant(seed in 0u64..1_000_000, len in 1usize..16) {
+        assert_sharded_multi_tenant_equivalent(seed, len);
     }
 }

@@ -13,9 +13,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use flstore_baselines::agg::AggregatorBaseline;
 use flstore_core::api::{Request, Response, Service};
-use flstore_core::store::FlStore;
+use flstore_exec::{ShardUnit, ShardedExecutor};
 use flstore_fl::ids::{ClientId, Round};
 use flstore_fl::job::{FlJobConfig, FlJobSim, RoundRecord};
 use flstore_sim::cost::{Cost, CostBreakdown};
@@ -25,101 +24,6 @@ use flstore_sim::time::{SimDuration, SimTime};
 use flstore_workloads::request::{RequestId, WorkloadRequest};
 use flstore_workloads::service::RequestOutcome;
 use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
-
-/// Anything that can ingest FL rounds and serve non-training requests.
-///
-/// Superseded by the typed front door: implement (or use)
-/// [`flstore_core::api::Service`] instead, which keeps failures as typed
-/// [`flstore_core::api::ApiError`]s rather than erasing them to `None`,
-/// and serves batches. This trait remains as a thin shim over `Service`
-/// for callers not yet migrated.
-#[deprecated(note = "use flstore_core::api::Service: typed envelopes, batched submission")]
-pub trait ServingSystem {
-    /// Architecture label for reports.
-    fn label(&self) -> String;
-
-    /// Ingests one round's metadata at `now`.
-    fn ingest_round(&mut self, now: SimTime, record: &RoundRecord);
-
-    /// Serves a request; `None` when it cannot be served.
-    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome>;
-
-    /// Total cost over the window ending at `now` (requests + background +
-    /// always-on infrastructure + storage).
-    fn window_cost(&mut self, now: SimTime) -> CostBreakdown;
-
-    /// Always-on infrastructure cost alone over the window ending at `now`
-    /// (used to amortize per-request costs the way the paper does).
-    fn infra_cost(&mut self, now: SimTime) -> Cost;
-}
-
-/// Routes the legacy surface through the front door (single-tenant: the
-/// store's own job).
-#[allow(deprecated)]
-impl ServingSystem for FlStore {
-    fn label(&self) -> String {
-        Service::label(self)
-    }
-
-    fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
-        let job = self.catalog().job();
-        self.submit(
-            now,
-            Request::Ingest {
-                job,
-                record: Arc::new(record.clone()),
-            },
-        );
-    }
-
-    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome> {
-        match self.submit(now, Request::Serve(*request)) {
-            Response::Served(served) => Some(served.measured),
-            _ => None,
-        }
-    }
-
-    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
-        Service::window_cost(self, now)
-    }
-
-    fn infra_cost(&mut self, now: SimTime) -> Cost {
-        Service::infra_cost(self, now)
-    }
-}
-
-#[allow(deprecated)]
-impl ServingSystem for AggregatorBaseline {
-    fn label(&self) -> String {
-        Service::label(self)
-    }
-
-    fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) {
-        let job = self.catalog().job();
-        self.submit(
-            now,
-            Request::Ingest {
-                job,
-                record: Arc::new(record.clone()),
-            },
-        );
-    }
-
-    fn serve_request(&mut self, now: SimTime, request: &WorkloadRequest) -> Option<RequestOutcome> {
-        match self.submit(now, Request::Serve(*request)) {
-            Response::Served(served) => Some(served.measured),
-            _ => None,
-        }
-    }
-
-    fn window_cost(&mut self, now: SimTime) -> CostBreakdown {
-        Service::window_cost(self, now)
-    }
-
-    fn infra_cost(&mut self, now: SimTime) -> Cost {
-        Service::infra_cost(self, now)
-    }
-}
 
 /// One externally-supplied trace event: a non-training request arriving
 /// `t` seconds into the window.
@@ -557,11 +461,45 @@ pub fn drive_batched<S: Service>(
     }
 }
 
+/// The parallel drive loop: like [`drive_batched`], but serving through a
+/// [`ShardedExecutor`] with `threads` worker shards — each batch the
+/// arrival-window batcher forms fans out across the executor's workers
+/// and merges back into submission order, while round ingests remain
+/// barriers so the virtual clock stays monotonic. With `threads <= 1` the
+/// system is driven in-thread, envelope for envelope.
+///
+/// The executor is bit-for-bit equivalent to sequential submission, so a
+/// parallel drive produces the *same report* as a sequential one with the
+/// same [`BatchConfig`] — only the wall-clock cost of the drive changes.
+/// The serving unit is handed back with the report so callers can inspect
+/// post-drive state (fault counters, cache contents).
+pub fn drive_parallel<U: ShardUnit + 'static>(
+    system: U,
+    job_cfg: &FlJobConfig,
+    trace: &TraceConfig,
+    batch: BatchConfig,
+    threads: usize,
+) -> (DriveReport, U) {
+    if threads <= 1 {
+        let mut system = system;
+        let report = drive_batched(&mut system, job_cfg, trace, batch);
+        return (report, system);
+    }
+    let mut exec = ShardedExecutor::new(vec![system], threads);
+    let report = drive_batched(&mut exec, job_cfg, trace, batch);
+    let unit = exec
+        .into_units()
+        .pop()
+        .expect("the executor returns the unit it was given");
+    (report, unit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flstore_baselines::agg::AggregatorConfig;
+    use flstore_baselines::agg::{AggregatorBaseline, AggregatorConfig};
     use flstore_core::policy::TailoredPolicy;
+    use flstore_core::store::FlStore;
     use flstore_core::store::FlStoreConfig;
     use flstore_fl::ids::JobId;
     use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
@@ -776,6 +714,29 @@ mod tests {
         );
         assert_eq!(report.outcomes.len(), 2);
         assert_eq!(report.outcomes[0].arrived, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn parallel_drive_matches_sequential_drive() {
+        let job = small_job();
+        let trace = TraceConfig::smoke(17);
+        for batch in [
+            BatchConfig::SEQUENTIAL,
+            BatchConfig::new(8, SimDuration::from_secs(300)),
+        ] {
+            let mut sequential = flstore(&job);
+            let rs = drive_batched(&mut sequential, &job, &trace, batch);
+            for threads in [2usize, 4] {
+                let (rp, store) = drive_parallel(flstore(&job), &job, &trace, batch, threads);
+                assert_eq!(rs.outcomes, rp.outcomes, "threads={threads}");
+                assert_eq!(rs.errors, rp.errors);
+                assert_eq!(rs.total_cost, rp.total_cost);
+                assert_eq!(rs.infra_cost, rp.infra_cost);
+                assert_eq!(rs.label, rp.label);
+                // The unit comes back for post-drive inspection.
+                assert_eq!(store.ledger().outcomes, sequential.ledger().outcomes);
+            }
+        }
     }
 
     #[test]

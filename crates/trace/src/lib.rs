@@ -5,10 +5,11 @@
 //! architecture:
 //!
 //! * [`arrival`] — uniform / Poisson / burst arrival processes.
-//! * [`driver`] — the [`driver::drive`] / [`driver::drive_batched`] replay
-//!   loops over the unified front door (`flstore_core::api::Service`),
-//!   external JSON-lines traces ([`driver::TraceConfig::from_jsonl`]),
-//!   and [`driver::DriveReport`] summaries.
+//! * [`driver`] — the [`driver::drive`] / [`driver::drive_batched`] /
+//!   [`driver::drive_parallel`] replay loops over the unified front door
+//!   (`flstore_core::api::Service`), external JSON-lines traces
+//!   ([`driver::TraceConfig::from_jsonl`]), and [`driver::DriveReport`]
+//!   summaries.
 //! * [`scenario`] — one preset per paper experiment: eval jobs, policy
 //!   variants, fault-injection deployments, the 50-hour trace.
 
@@ -19,9 +20,8 @@ pub mod arrival;
 pub mod driver;
 pub mod scenario;
 
-#[allow(deprecated)]
-pub use driver::ServingSystem;
 pub use driver::{
-    drive, drive_batched, BatchConfig, DriveReport, TraceConfig, TraceError, TraceEvent,
+    drive, drive_batched, drive_parallel, BatchConfig, DriveReport, TraceConfig, TraceError,
+    TraceEvent,
 };
 pub use scenario::PolicyVariant;

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Byte-diffs two figure-result directories: every JSON output must be
+# identical, except overhead.json's wall-clock timing fields
+# (dispatch_us/complete_us/record_us — real elapsed time, different on
+# every run), which are normalized away before comparing.
+#
+# This is the standing parallel-determinism gate: CI runs the figures
+# sweep sequentially and with --threads 4 and feeds both directories
+# here, so any divergence between the sharded executor and sequential
+# serving fails the build.
+#
+# Usage: scripts/compare_results.sh <dir-a> <dir-b>
+set -euo pipefail
+# Empty result directories must hit the explicit "no result files" check
+# below, not iterate over a literal '*.json'.
+shopt -s nullglob
+
+if [ $# -ne 2 ]; then
+    echo "usage: scripts/compare_results.sh <dir-a> <dir-b>" >&2
+    exit 2
+fi
+a="$1"
+b="$2"
+
+# Strip the wall-clock fields from overhead.json rows.
+normalize_overhead() {
+    sed -E 's/"(dispatch|complete|record)_us": *[0-9.eE+-]+/"\1_us": "WALL-CLOCK"/g' "$1"
+}
+
+fail=0
+count=0
+for f in "$a"/*.json; do
+    name="$(basename "$f")"
+    count=$((count + 1))
+    if [ ! -f "$b/$name" ]; then
+        echo "missing in $b: $name"
+        fail=1
+        continue
+    fi
+    if [ "$name" = "overhead.json" ]; then
+        if ! diff -q <(normalize_overhead "$f") <(normalize_overhead "$b/$name") >/dev/null; then
+            echo "differs (beyond wall-clock fields): $name"
+            fail=1
+        fi
+    elif ! cmp -s "$f" "$b/$name"; then
+        echo "differs: $name"
+        fail=1
+    fi
+done
+
+if [ "$count" -eq 0 ]; then
+    echo "no result files in $a" >&2
+    exit 1
+fi
+for f in "$b"/*.json; do
+    name="$(basename "$f")"
+    if [ ! -f "$a/$name" ]; then
+        echo "missing in $a: $name"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "all $count result files identical across $a and $b (modulo overhead.json wall-clock)"
+fi
+exit "$fail"

@@ -14,7 +14,11 @@
 #   7. figures smoke: every experiment id end-to-end at --fast scale into
 #      results-smoke/ (so full-scale results/ are never clobbered), then
 #      scripts/check_figures_outputs.sh — the same check CI runs.
-#      Skip with --skip-smoke for a quick edit-compile loop.
+#   8. parallel determinism: the same sweep again with --threads 4 into
+#      results-smoke-threads4/, byte-diffed against the sequential run
+#      via scripts/compare_results.sh (overhead.json wall-clock fields
+#      excepted) — the sharded executor must be bit-for-bit sequential.
+#      Skip 7+8 with --skip-smoke for a quick edit-compile loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +59,14 @@ if [ "$skip_smoke" -eq 0 ]; then
     rm -rf results-smoke
     run cargo run --release --bin figures -- all --fast
     run scripts/check_figures_outputs.sh results-smoke
+
+    # Parallel determinism gate: the sharded executor must reproduce the
+    # sequential sweep byte for byte.
+    export FLSTORE_RESULTS_DIR=results-smoke-threads4
+    rm -rf results-smoke-threads4
+    run cargo run --release --bin figures -- all --fast --threads 4
+    unset FLSTORE_RESULTS_DIR
+    run scripts/compare_results.sh results-smoke results-smoke-threads4
 else
     echo
     echo "==> figures smoke SKIPPED (--skip-smoke); CI always runs it"

@@ -17,6 +17,7 @@
 //! | [`workloads`] | `flstore-workloads` | Table-1 taxonomy + 10 workloads |
 //! | [`store`] | `flstore-core` | FLStore: engine, tracker, policies |
 //! | [`baselines`] | `flstore-baselines` | ObjStore-Agg, Cache-Agg |
+//! | [`exec`] | `flstore-exec` | sharded concurrent executor |
 //! | [`trace`] | `flstore-trace` | traces, drivers, scenarios |
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@
 pub use flstore_baselines as baselines;
 pub use flstore_cloud as cloud;
 pub use flstore_core as store;
+pub use flstore_exec as exec;
 pub use flstore_fl as fl;
 pub use flstore_serverless as serverless;
 pub use flstore_sim as sim;

@@ -3,8 +3,11 @@
 //! Benchmarks run with `cargo bench` through `criterion_group!` /
 //! `criterion_main!` exactly like the real crate, but the statistics are
 //! simpler: each benchmark is warmed up, calibrated to a target sample
-//! duration, then timed for `sample_size` samples; mean and best ns/iter
-//! are printed.
+//! duration, then timed for `sample_size` samples; mean, best, and the
+//! p50/p95/p99 per-sample tail are printed (percentiles are nearest-rank
+//! over the per-sample ns/iter values, so p99 needs a sample size large
+//! enough to resolve it — with the default 20 samples p95 and p99 land on
+//! the slowest sample).
 
 use std::time::{Duration, Instant};
 
@@ -78,24 +81,33 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         iters *= 8;
     }
 
-    let mut best = f64::INFINITY;
-    let mut total = 0.0;
+    let mut samples = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut b = Bencher {
             iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        let ns_per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
-        best = best.min(ns_per_iter);
-        total += ns_per_iter;
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
-    let mean = total / sample_size as f64;
+    let mean = samples.iter().sum::<f64>() / sample_size as f64;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let best = samples[0];
     println!(
-        "  {label:<40} mean {:>12} best {:>12} ({iters} iters/sample)",
+        "  {label:<40} mean {:>12} best {:>12} p50 {:>12} p95 {:>12} p99 {:>12} ({iters} iters/sample)",
         fmt_ns(mean),
-        fmt_ns(best)
+        fmt_ns(best),
+        fmt_ns(percentile(&samples, 50.0)),
+        fmt_ns(percentile(&samples, 95.0)),
+        fmt_ns(percentile(&samples, 99.0)),
     );
+}
+
+/// Nearest-rank percentile over sorted per-sample values.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn fmt_ns(ns: f64) -> String {
