@@ -253,6 +253,8 @@ impl AggregatorBaseline {
             cached,
             evicted,
             backed_up: stored,
+            // Baselines have no per-tenant quota gate.
+            quota_denied: 0,
         }
     }
 

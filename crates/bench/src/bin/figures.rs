@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures. See `flstore-bench` docs.
 
 use flstore_bench::{
-    breakdown, headline, inventory, jobs, motivation, policies, robustness, Scale,
+    breakdown, headline, inventory, jobs, motivation, policies, robustness, tenancy, Scale,
 };
 
 type Experiment = fn(Scale) -> serde_json::Value;
@@ -25,6 +25,7 @@ const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
     ("table1", inventory::table1, "table1"),
     ("table2", policies::table2, "table2"),
     ("jobs", jobs::jobs, "jobs"),
+    ("tenancy", tenancy::tenancy, "tenancy"),
     ("capacity", inventory::capacity, "capacity"),
     ("overhead", inventory::overhead, "overhead"),
 ];

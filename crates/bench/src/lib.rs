@@ -29,6 +29,7 @@ pub mod jobs;
 pub mod motivation;
 pub mod policies;
 pub mod robustness;
+pub mod tenancy;
 pub mod util;
 
 pub use util::Scale;

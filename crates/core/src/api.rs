@@ -59,6 +59,7 @@ use flstore_fl::ids::JobId;
 use flstore_fl::job::RoundRecord;
 use flstore_fl::metadata::MetaKey;
 use flstore_serverless::platform::PlatformError;
+use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::{Cost, CostBreakdown};
 use flstore_sim::time::SimTime;
 use flstore_workloads::request::{RequestId, WorkloadRequest};
@@ -66,6 +67,7 @@ use flstore_workloads::run::WorkloadError;
 use flstore_workloads::service::ServiceLedger;
 
 use crate::error::FlStoreError;
+use crate::quota::{QuotaPolicy, QuotaUsage};
 use crate::store::{FlStore, ServedRequest};
 use crate::tenancy::MultiTenantStore;
 
@@ -156,6 +158,19 @@ pub enum ApiError {
         /// The job the envelope named.
         job: JobId,
     },
+    /// A strict per-tenant quota refused part of the envelope's working
+    /// set. For an `Ingest`, durability is preserved (the round is backed
+    /// up to the persistent store) but `denied` policy-hot objects were
+    /// not admitted to the cache — the envelope reports the shortfall
+    /// honestly instead of claiming a full ingest.
+    QuotaExceeded {
+        /// The over-budget tenant.
+        job: JobId,
+        /// The tenant's configured budget.
+        budget: ByteSize,
+        /// Objects refused admission by the quota gate.
+        denied: usize,
+    },
     /// No ingested round satisfies the request.
     NoData {
         /// The offending request.
@@ -175,6 +190,16 @@ impl fmt::Display for ApiError {
             ApiError::UnknownJob { job } => {
                 write!(f, "no tenant serves {job}")
             }
+            ApiError::QuotaExceeded {
+                job,
+                budget,
+                denied,
+            } => {
+                write!(
+                    f,
+                    "{job} over its {budget} strict quota: {denied} object(s) refused admission"
+                )
+            }
             ApiError::NoData { request } => {
                 write!(f, "no ingested data satisfies {request}")
             }
@@ -188,7 +213,9 @@ impl fmt::Display for ApiError {
 impl Error for ApiError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            ApiError::UnknownJob { .. } | ApiError::NoData { .. } => None,
+            ApiError::UnknownJob { .. }
+            | ApiError::QuotaExceeded { .. }
+            | ApiError::NoData { .. } => None,
             ApiError::Store(e) => Some(e),
             ApiError::Workload(e) => Some(e),
             ApiError::Platform(e) => Some(e),
@@ -199,6 +226,7 @@ impl Error for ApiError {
 impl From<FlStoreError> for ApiError {
     fn from(e: FlStoreError) -> Self {
         match e {
+            FlStoreError::UnknownJob { job } => ApiError::UnknownJob { job },
             FlStoreError::NoData { request } => ApiError::NoData { request },
             FlStoreError::Store(e) => ApiError::Store(e),
             FlStoreError::Workload(e) => ApiError::Workload(e),
@@ -225,10 +253,15 @@ pub struct StatsReport {
     /// Replica reclamations observed (0 for systems without a serverless
     /// cache).
     pub faults: u64,
+    /// Per-tenant quota occupancy, in job order (empty for systems that do
+    /// not account residency, e.g. the aggregator baselines). Reported
+    /// *after* any cross-tenant pressure pass the stats probe triggered.
+    pub quota: Vec<QuotaUsage>,
 }
 
 impl StatsReport {
-    /// Builds a single-tenant report from a serving ledger.
+    /// Builds a single-tenant report from a serving ledger (no quota
+    /// occupancy rows; callers that account residency attach their own).
     pub fn from_ledger(label: String, ledger: &ServiceLedger, faults: u64) -> Self {
         StatsReport {
             label,
@@ -238,6 +271,7 @@ impl StatsReport {
             cache_misses: ledger.misses(),
             hit_rate: ledger.hit_rate(),
             faults,
+            quota: Vec::new(),
         }
     }
 }
@@ -296,16 +330,37 @@ impl Service for FlStore {
             }
         }
         match request {
-            Request::Ingest { record, .. } => Response::Ingested(self.ingest_round(now, &record)),
+            Request::Ingest { record, .. } => {
+                let receipt = self.ingest_round(now, &record);
+                // A strict tenant reports a hot set it could not admit as a
+                // typed rejection, not a silently short receipt. Partial
+                // execution stands (the round is durably backed up).
+                if receipt.quota_denied > 0 {
+                    if let Some(quota) = self.quota() {
+                        if quota.policy == QuotaPolicy::Strict {
+                            return Response::Rejected(ApiError::QuotaExceeded {
+                                job: own,
+                                budget: quota.bytes,
+                                denied: receipt.quota_denied,
+                            });
+                        }
+                    }
+                }
+                Response::Ingested(receipt)
+            }
             Request::Serve(request) => serve_response(self.serve(now, &request)),
             Request::Evict(key) => Response::Evicted {
                 was_cached: self.evict(&key),
             },
-            Request::Stats => Response::Stats(StatsReport::from_ledger(
-                Service::label(self),
-                self.ledger(),
-                self.faults_observed(),
-            )),
+            Request::Stats => {
+                let mut report = StatsReport::from_ledger(
+                    Service::label(self),
+                    self.ledger(),
+                    self.faults_observed(),
+                );
+                report.quota = vec![self.quota_usage()];
+                Response::Stats(report)
+            }
         }
     }
 
@@ -371,8 +426,16 @@ impl Service for MultiTenantStore {
                 Some(store) => store.submit(now, request),
                 None => Response::Rejected(ApiError::UnknownJob { job }),
             },
-            // System-wide envelopes aggregate over every tenant.
-            None => Response::Stats(self.stats_report()),
+            // System-wide envelopes aggregate over every tenant. They are
+            // also the pressure plane's deterministic trigger point: when a
+            // global budget is set, over-budget elastic tenants shed their
+            // policy victims here, before occupancy is reported — the same
+            // barrier semantics the sharded executor gives Stats envelopes,
+            // so both planes stay bit-for-bit equivalent.
+            None => {
+                self.pressure_pass();
+                Response::Stats(self.stats_report())
+            }
         }
     }
 
@@ -430,12 +493,14 @@ impl MultiTenantStore {
             cache_misses: 0,
             hit_rate: 1.0,
             faults: 0,
+            quota: Vec::new(),
         };
         for store in self.tenants() {
             report.served += store.ledger().len();
             report.cache_hits += store.ledger().hits();
             report.cache_misses += store.ledger().misses();
             report.faults += store.faults_observed();
+            report.quota.push(store.quota_usage());
         }
         let touched = report.cache_hits + report.cache_misses;
         if touched > 0 {
@@ -563,6 +628,154 @@ mod tests {
         let single = b.submit(now, request);
         assert_eq!(batched, vec![single]);
         assert_eq!(a.ledger().outcomes, b.ledger().outcomes);
+    }
+
+    #[test]
+    fn strict_quota_rejects_ingest_honestly_and_keeps_durability() {
+        use crate::quota::TenantQuota;
+        use flstore_sim::bytes::ByteSize;
+
+        let cfg = FlJobConfig {
+            rounds: 2,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        // A budget smaller than a single update: nothing hot can ever be
+        // admitted.
+        let store_cfg = FlStoreConfig {
+            quota: Some(TenantQuota::strict(ByteSize::from_mb(1))),
+            ..quiet_config(&cfg.model)
+        };
+        let mut store = FlStore::new(
+            store_cfg,
+            Box::new(TailoredPolicy::new()),
+            cfg.job,
+            cfg.model,
+        );
+        let record = FlJobSim::new(cfg.clone()).next().expect("rounds");
+        let response = store.submit(
+            SimTime::ZERO,
+            Request::Ingest {
+                job: cfg.job,
+                record: Arc::new(record.clone()),
+            },
+        );
+        let Response::Rejected(ApiError::QuotaExceeded {
+            job,
+            budget,
+            denied,
+        }) = response
+        else {
+            panic!("a starved strict tenant reports QuotaExceeded, got {response:?}");
+        };
+        assert_eq!(job, cfg.job);
+        assert_eq!(budget, ByteSize::from_mb(1));
+        assert!(denied > 0);
+        // Partial execution is honest: durability happened, residency not.
+        assert!(store.resident_bytes() <= budget);
+        assert!(store.persistent().contains(
+            &flstore_fl::metadata::MetaKey::aggregate(cfg.job, record.round).object_key()
+        ));
+
+        // Serving still works — misses fall back to the persistent store.
+        let serve = store.submit(
+            SimTime::from_secs(3600),
+            Request::Serve(p2(1, cfg.job, record.round)),
+        );
+        let served = serve.served().expect("pass-through serving");
+        assert!(served.measured.cache_misses > 0);
+        assert!(store.resident_bytes() <= budget, "serving never overshoots");
+    }
+
+    #[test]
+    fn stats_carry_per_tenant_quota_occupancy() {
+        use crate::quota::{QuotaPolicy, TenantQuota};
+        use flstore_sim::bytes::ByteSize;
+
+        let mut front = MultiTenantStore::new(quiet_config(&ModelArch::RESNET18));
+        let budget = ByteSize::from_gb(4);
+        front.register_job_with_quota(
+            JobId::new(1),
+            ModelArch::RESNET18,
+            Some(TenantQuota::elastic(budget)),
+        );
+        front.register_job(JobId::new(2), ModelArch::RESNET18);
+        for job in [JobId::new(1), JobId::new(2)] {
+            let cfg = FlJobConfig {
+                rounds: 2,
+                ..FlJobConfig::quick_test(job)
+            };
+            for (i, record) in FlJobSim::new(cfg).enumerate() {
+                front.submit(
+                    SimTime::from_secs(60 * i as u64),
+                    Request::Ingest {
+                        job,
+                        record: Arc::new(record),
+                    },
+                );
+            }
+        }
+        let Response::Stats(stats) = front.submit(SimTime::from_secs(3600), Request::Stats) else {
+            panic!("stats envelope answers with stats");
+        };
+        assert_eq!(stats.quota.len(), 2, "one occupancy row per tenant");
+        assert_eq!(stats.quota[0].job, JobId::new(1));
+        assert_eq!(stats.quota[0].quota, Some(TenantQuota::elastic(budget)));
+        assert_eq!(
+            stats.quota[0].quota.expect("set").policy,
+            QuotaPolicy::Elastic
+        );
+        assert!(
+            stats.quota[0].resident > ByteSize::ZERO,
+            "rounds are resident"
+        );
+        assert_eq!(stats.quota[1].job, JobId::new(2));
+        assert_eq!(stats.quota[1].quota, None, "tenant 2 is unbounded");
+    }
+
+    #[test]
+    fn global_pressure_reclaims_from_elastic_tenants_at_stats() {
+        use crate::quota::TenantQuota;
+        use flstore_sim::bytes::ByteSize;
+
+        let mut front = MultiTenantStore::new(quiet_config(&ModelArch::RESNET18));
+        let cfg1 = FlJobConfig {
+            rounds: 4,
+            ..FlJobConfig::quick_test(JobId::new(1))
+        };
+        // One elastic tenant with a tiny soft budget; ingest overshoots it
+        // freely until the global budget forces the pressure pass.
+        let soft = ByteSize::from_mb(50);
+        front.register_job_with_quota(cfg1.job, cfg1.model, Some(TenantQuota::elastic(soft)));
+        let mut now = SimTime::ZERO;
+        for record in FlJobSim::new(cfg1.clone()) {
+            front.submit(
+                now,
+                Request::Ingest {
+                    job: cfg1.job,
+                    record: Arc::new(record),
+                },
+            );
+            now += SimDuration::from_secs(60);
+        }
+        let before = front.quota_usages()[0].resident;
+        assert!(before > soft, "elastic tenants may overshoot their budget");
+
+        // No global budget: stats do not reclaim.
+        front.submit(now, Request::Stats);
+        assert_eq!(front.quota_usages()[0].resident, before);
+
+        // Arm a global budget below current residency: the stats barrier
+        // sheds the elastic overage, down to (at most) the soft budget.
+        front.set_global_budget(Some(ByteSize::from_mb(80)));
+        let Response::Stats(stats) = front.submit(now, Request::Stats) else {
+            panic!("stats envelope answers with stats");
+        };
+        let after = stats.quota[0].resident;
+        assert!(after < before, "pressure reclaimed: {after} vs {before}");
+        assert!(
+            after <= soft.max(ByteSize::from_mb(80)),
+            "residency returns toward the budget: {after}"
+        );
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct CacheEngine {
     meta: HashMap<MetaKey, CacheMeta>,
     decoded: DecodedCache,
     next_seq: u64,
+    /// Running sum of tracked logical bytes, maintained incrementally so
+    /// [`CacheEngine::bytes_tracked`] is O(1) — quota checks read it on
+    /// every admission.
+    tracked: ByteSize,
 }
 
 impl CacheEngine {
@@ -112,9 +116,10 @@ impl CacheEngine {
         self.locations.keys()
     }
 
-    /// Total logical bytes tracked (one replica's worth).
+    /// Total logical bytes tracked (one replica's worth). O(1): the sum
+    /// is maintained across `record`/`remove`/`drop_replica`.
     pub fn bytes_tracked(&self) -> ByteSize {
-        self.meta.values().map(|m| m.size).sum()
+        self.tracked
     }
 
     /// Registers a (replicated) placement. `available_at` is the instant the
@@ -132,7 +137,8 @@ impl CacheEngine {
         // hold; the caller re-seeds after recording if it has the value.
         self.decoded.invalidate(&key);
         self.locations.insert(key, replicas);
-        self.meta.insert(
+        self.tracked += size;
+        if let Some(old) = self.meta.insert(
             key,
             CacheMeta {
                 size,
@@ -141,7 +147,9 @@ impl CacheEngine {
                 frequency: 0,
                 available_at,
             },
-        );
+        ) {
+            self.tracked = self.tracked.saturating_sub(old.size);
+        }
     }
 
     /// Marks an access to `key`, updating recency/frequency. Returns the
@@ -157,7 +165,9 @@ impl CacheEngine {
     /// Removes a key entirely. Returns its former locations.
     pub fn remove(&mut self, key: &MetaKey) -> Option<Vec<FunctionId>> {
         self.decoded.invalidate(key);
-        self.meta.remove(key);
+        if let Some(old) = self.meta.remove(key) {
+            self.tracked = self.tracked.saturating_sub(old.size);
+        }
         self.locations.remove(key)
     }
 
@@ -173,9 +183,7 @@ impl CacheEngine {
             }
         }
         for key in &orphaned {
-            self.decoded.invalidate(key);
-            self.locations.remove(key);
-            self.meta.remove(key);
+            self.remove(key);
         }
         orphaned
     }
@@ -192,14 +200,18 @@ impl CacheEngine {
         }
     }
 
-    /// Estimated resident memory of the engine's dictionaries, for the
-    /// paper's overhead analysis (§5.5).
+    /// Estimated resident memory of the engine, for the paper's overhead
+    /// analysis (§5.5) and for capacity/quota decisions: the placement
+    /// dictionaries *plus* the decoded-value layer's residency — the
+    /// `Arc<MetaValue>` handles PR 2 added are real memory and must be
+    /// visible to anything budgeting this engine.
     pub fn estimated_memory(&self) -> ByteSize {
         // MetaKey ≈ 24 B payload; CacheMeta = 40 B; Vec<FunctionId> ≈ 24 B
         // header + 8 B/replica; two hash-map entries ≈ 2 × 48 B overhead.
         let per_entry = 24 + 40 + 24 + 2 * 48;
         let replicas: usize = self.locations.values().map(|v| 8 * v.len()).sum();
         ByteSize::from_bytes((self.locations.len() * per_entry + replicas) as u64)
+            + self.decoded.resident_bytes()
     }
 
     fn bump(&mut self) -> u64 {
@@ -343,6 +355,35 @@ mod tests {
     }
 
     #[test]
+    fn memory_estimate_sees_the_decoded_layer_and_shrinks_on_eviction() {
+        use flstore_fl::hyperparams::HyperParams;
+        use flstore_fl::metadata::MetaValue;
+        use flstore_fl::zoo::ModelArch;
+
+        let mut e = CacheEngine::new();
+        let k = key(1, 1);
+        e.record(k, vec![fid(0)], ByteSize::from_mb(1), SimTime::ZERO);
+        let index_only = e.estimated_memory();
+
+        // Seeding a decoded handle grows the estimate: Arc<MetaValue>
+        // residency is part of any capacity decision.
+        let value = MetaValue::Hyper(HyperParams::schedule(Round::new(1), 10, 0.2));
+        let blob = value.to_blob(&ModelArch::RESNET18);
+        e.decoded_mut().seed(k, &blob, value.into_shared());
+        let with_decoded = e.estimated_memory();
+        assert!(with_decoded > index_only, "{with_decoded} vs {index_only}");
+        assert_eq!(
+            with_decoded,
+            index_only + e.decoded().resident_bytes(),
+            "decoded residency folds into the estimate exactly"
+        );
+
+        // Eviction releases both layers.
+        e.remove(&k);
+        assert_eq!(e.estimated_memory(), ByteSize::ZERO);
+    }
+
+    #[test]
     fn bytes_tracked_sums_sizes() {
         let mut e = CacheEngine::new();
         e.record(
@@ -358,5 +399,17 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(e.bytes_tracked(), ByteSize::from_mb(100));
+        // The running total follows overwrites, removals, and orphaning.
+        e.record(
+            key(0, 0),
+            vec![fid(1)],
+            ByteSize::from_mb(30),
+            SimTime::ZERO,
+        );
+        assert_eq!(e.bytes_tracked(), ByteSize::from_mb(50));
+        e.remove(&key(0, 1));
+        assert_eq!(e.bytes_tracked(), ByteSize::from_mb(30));
+        e.drop_replica(fid(1));
+        assert_eq!(e.bytes_tracked(), ByteSize::ZERO);
     }
 }

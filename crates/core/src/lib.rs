@@ -16,6 +16,8 @@
 //!   with locality-aware execution, replicate, fail over, re-fetch.
 //! * [`tenancy`] — [`MultiTenantStore`]: isolated
 //!   per-job caches on one deployment (paper Appendix A).
+//! * [`quota`] — per-tenant memory budgets and the deterministic
+//!   cross-tenant pressure plane (Appendix A resource governance).
 //! * [`metrics`] — per-request outcomes and experiment ledgers (shared
 //!   with the baselines via `flstore-workloads`).
 //! * [`error`] — error types.
@@ -65,6 +67,7 @@ pub mod api;
 pub mod engine;
 pub mod error;
 pub mod policy;
+pub mod quota;
 pub mod store;
 pub mod tenancy;
 pub mod tracker;
@@ -82,6 +85,7 @@ pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};
 pub use policy::{
     CachingPolicy, EvictionDiscipline, PolicyActions, ReactivePolicy, StaticPolicy, TailoredPolicy,
 };
+pub use quota::{QuotaPolicy, QuotaUsage, TenantQuota};
 pub use store::{FlStore, FlStoreConfig, IngestReceipt, ServedRequest};
 pub use tenancy::MultiTenantStore;
 pub use tracker::RequestTracker;

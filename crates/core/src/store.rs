@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use crate::engine::CacheEngine;
 use crate::error::FlStoreError;
 use crate::policy::CachingPolicy;
+use crate::quota::{QuotaPolicy, QuotaUsage, TenantQuota};
 use crate::tracker::RequestTracker;
 use flstore_workloads::service::{RequestOutcome, ServiceLedger};
 
@@ -59,6 +60,11 @@ pub struct FlStoreConfig {
     /// Fixed routing overhead per request (tracker + engine lookups; the
     /// paper measures these dictionaries at <1 ms, §5.5).
     pub routing_overhead: SimDuration,
+    /// Per-tenant memory budget (paper Appendix A resource governance).
+    /// `None` (the default) leaves residency unbounded, exactly the
+    /// pre-quota behaviour; `Strict` is enforced inside this deployment,
+    /// `Elastic` is reclaimed by the multi-tenant pressure plane.
+    pub quota: Option<TenantQuota>,
 }
 
 impl FlStoreConfig {
@@ -78,6 +84,7 @@ impl FlStoreConfig {
             platform: PlatformConfig::default(),
             objstore: ObjectStoreConfig::default(),
             routing_overhead: SimDuration::from_millis(2),
+            quota: None,
         }
     }
 }
@@ -100,6 +107,10 @@ pub struct IngestReceipt {
     pub evicted: usize,
     /// Objects written through to the persistent store.
     pub backed_up: usize,
+    /// Policy-hot objects the strict per-tenant quota refused to admit
+    /// (they remain in the persistent store only). Always zero without a
+    /// `Strict` quota.
+    pub quota_denied: usize,
 }
 
 /// The FLStore serving system.
@@ -214,6 +225,91 @@ impl FlStore {
     /// Replica reclamations observed so far.
     pub fn faults_observed(&self) -> u64 {
         self.faults_observed
+    }
+
+    /// This deployment's configured memory budget, if any.
+    pub fn quota(&self) -> Option<TenantQuota> {
+        self.cfg.quota
+    }
+
+    /// Resident cache bytes the quota/pressure plane accounts: the logical
+    /// bytes tracked by the placement index plus the decoded-value layer's
+    /// residency — one number every budgeting decision sees.
+    pub fn resident_bytes(&self) -> ByteSize {
+        self.engine.bytes_tracked() + self.engine.decoded().resident_bytes()
+    }
+
+    /// This tenant's point-in-time quota occupancy row (carried by
+    /// `Request::Stats` responses and consumed by the pressure plane).
+    pub fn quota_usage(&self) -> QuotaUsage {
+        QuotaUsage {
+            job: self.catalog.job(),
+            resident: self.resident_bytes(),
+            quota: self.cfg.quota,
+        }
+    }
+
+    /// Sheds at least `need` bytes of this tenant's own cache, choosing
+    /// victims through the deployment's caching policy (which orders them
+    /// deterministically by rank, then full `MetaKey`). Returns the evicted
+    /// keys in eviction order — the cross-tenant pressure plane's
+    /// reclamation hook. The persistent copies remain the fallback.
+    pub fn reclaim(&mut self, need: ByteSize) -> Vec<MetaKey> {
+        let victims = self.policy.victims(need, &self.engine);
+        for victim in &victims {
+            self.evict_key(victim);
+        }
+        victims
+    }
+
+    /// Strict-quota admission gate for one object of `size` entering the
+    /// cache: within budget admits immediately; over budget first sheds
+    /// this tenant's own policy victims, then refuses the object if room
+    /// still cannot be made. Elastic and unquota'd deployments always
+    /// admit (the pressure plane governs elastic overshoot).
+    fn quota_admits(&mut self, size: ByteSize) -> bool {
+        let Some(quota) = self.cfg.quota else {
+            return true;
+        };
+        if quota.policy != QuotaPolicy::Strict {
+            return true;
+        }
+        // An object larger than the whole budget can never fit: refuse it
+        // outright instead of pointlessly wiping the working set trying to
+        // make room that does not exist.
+        if size > quota.bytes {
+            return false;
+        }
+        let projected = self.resident_bytes() + size;
+        if projected <= quota.bytes {
+            return true;
+        }
+        self.reclaim(projected.saturating_sub(quota.bytes));
+        self.resident_bytes() + size <= quota.bytes
+    }
+
+    /// Restores the strict invariant `resident_bytes() <= budget` after an
+    /// operation that may have grown the decoded layer past it (admission
+    /// charges blob bytes; decoding afterwards adds `Arc<MetaValue>`
+    /// residency). No-op for elastic or unquota'd deployments.
+    fn enforce_strict_budget(&mut self) {
+        let Some(quota) = self.cfg.quota else {
+            return;
+        };
+        if quota.policy != QuotaPolicy::Strict {
+            return;
+        }
+        loop {
+            let resident = self.resident_bytes();
+            if resident <= quota.bytes {
+                return;
+            }
+            let before = self.engine.len();
+            self.reclaim(resident.saturating_sub(quota.bytes));
+            if self.engine.len() == before {
+                return; // nothing evictable remains
+            }
+        }
     }
 
     /// Total cost over the experiment window ending at `now`: per-request
@@ -402,8 +498,16 @@ impl FlStore {
 
         let actions = self.policy.on_ingest(&keys, &self.catalog, &self.engine);
         let mut cached = 0;
+        let mut quota_denied = 0;
         for key in &actions.cache {
             if let Some((value, blob)) = entry_of.get(key) {
+                // Strict quota gate: a refused object streams nothing (no
+                // billing, no placement) — it lives in the persistent store
+                // only, and the receipt reports the refusal honestly.
+                if !self.quota_admits(blob.logical_size()) {
+                    quota_denied += 1;
+                    continue;
+                }
                 // Ingestion billing: one short invocation streams the object
                 // into function memory (data arrived with the round; no
                 // plane-crossing transfer).
@@ -428,10 +532,14 @@ impl FlStore {
             self.evict_key(key);
             evicted += 1;
         }
+        // Seeding decoded handles may have grown residency past a strict
+        // budget the blob-byte admission check could not foresee.
+        self.enforce_strict_budget();
         IngestReceipt {
             cached,
             evicted,
             backed_up,
+            quota_denied,
         }
     }
 
@@ -458,7 +566,11 @@ impl FlStore {
         }
         let referenced = self.referenced_functions(std::iter::once(needs.as_slice()));
         let recovered = self.liveness_pass(now, &referenced, &[needs.as_slice()]);
-        self.serve_resolved(now, request, &needs, recovered[0])
+        let result = self.serve_resolved(now, request, &needs, recovered[0]);
+        // Runs on the error exits too: a failed serve may still have grown
+        // the decoded layer past a strict budget before it bailed.
+        self.enforce_strict_budget();
+        result
     }
 
     /// Serves a batch of requests that share one arrival instant,
@@ -517,7 +629,11 @@ impl FlStore {
                         request: request.id,
                     })
                 } else {
-                    self.serve_resolved(now, request, needs, recovered)
+                    // Enforced per request (even on errors), exactly as a
+                    // sequential submission would.
+                    let result = self.serve_resolved(now, request, needs, recovered);
+                    self.enforce_strict_budget();
+                    result
                 }
             })
             .collect()
@@ -687,18 +803,20 @@ impl FlStore {
             cost += receipt.cost;
             let cache_miss = self.policy.cache_on_miss();
             for (key, blob) in miss_keys.iter().zip(blobs) {
-                if cache_miss {
+                let admitted = cache_miss && self.quota_admits(blob.logical_size());
+                if admitted {
                     self.cache_object(now, *key, blob.clone(), now);
                 }
-                if cache_miss && self.engine.contains(key) {
+                if admitted && self.engine.contains(key) {
                     // Newly cached: decode once through the decoded layer so
                     // later hits are Arc clones.
                     if let Some(v) = self.engine.decoded_mut().get_or_decode(key, &blob) {
                         values.push(v);
                     }
                 } else if let Some(v) = MetaValue::decode_shared(&blob) {
-                    // Not cached (policy or capacity): the miss path re-parses
-                    // per access, exactly like a conventional framework.
+                    // Not cached (policy, capacity, or strict quota): the
+                    // miss path re-parses per access, exactly like a
+                    // conventional framework.
                     values.push(v);
                 }
             }
@@ -730,12 +848,18 @@ impl FlStore {
             }
             if let Ok((blob, receipt)) = self.persistent.get(now, &key.object_key()) {
                 self.ledger.background_cost += receipt.cost;
-                self.cache_object(now, *key, blob, now + receipt.latency);
+                // The fetch was already spent; a strict quota can still
+                // refuse residency (the prefetch is abandoned).
+                if self.quota_admits(blob.logical_size()) {
+                    self.cache_object(now, *key, blob, now + receipt.latency);
+                }
             }
         }
         for key in &actions.evict {
             self.evict_key(key);
         }
+        // Strict-budget re-enforcement happens in the callers (serve /
+        // serve_batch), so it also covers the error exits above.
 
         self.tracker.complete(request.id);
         let measured = RequestOutcome {

@@ -12,13 +12,16 @@ use std::collections::BTreeMap;
 
 use flstore_fl::ids::JobId;
 use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::MetaKey;
 use flstore_fl::zoo::ModelArch;
+use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::CostBreakdown;
 use flstore_sim::time::SimTime;
 use flstore_workloads::request::WorkloadRequest;
 
 use crate::error::FlStoreError;
 use crate::policy::{CachingPolicy, TailoredPolicy};
+use crate::quota::{pressure_plan, QuotaUsage, TenantQuota};
 use crate::store::{FlStore, FlStoreConfig, IngestReceipt, ServedRequest};
 
 /// A multi-tenant FLStore front end: one isolated [`FlStore`] per job.
@@ -40,6 +43,10 @@ use crate::store::{FlStore, FlStoreConfig, IngestReceipt, ServedRequest};
 pub struct MultiTenantStore {
     template: FlStoreConfig,
     tenants: BTreeMap<JobId, FlStore>,
+    /// Aggregate residency budget across all tenants; when exceeded, the
+    /// pressure pass reclaims from over-budget *elastic* tenants. `None`
+    /// disables cross-tenant pressure entirely.
+    global_budget: Option<ByteSize>,
 }
 
 impl MultiTenantStore {
@@ -49,7 +56,19 @@ impl MultiTenantStore {
         MultiTenantStore {
             template,
             tenants: BTreeMap::new(),
+            global_budget: None,
         }
+    }
+
+    /// The aggregate residency budget, if cross-tenant pressure is armed.
+    pub fn global_budget(&self) -> Option<ByteSize> {
+        self.global_budget
+    }
+
+    /// Arms (or disarms, with `None`) the aggregate residency budget the
+    /// pressure pass enforces at every system-wide stats probe.
+    pub fn set_global_budget(&mut self, budget: Option<ByteSize>) {
+        self.global_budget = budget;
     }
 
     /// Number of registered tenants.
@@ -95,19 +114,47 @@ impl MultiTenantStore {
         self.tenants.keys().copied()
     }
 
-    /// Registers a tenant job with the default tailored policy. Replaces
-    /// nothing if the job already exists (returns false).
+    /// Registers a tenant job with the default tailored policy and the
+    /// template's quota (if any). Replaces nothing if the job already
+    /// exists (returns false).
     pub fn register_job(&mut self, job: JobId, model: ModelArch) -> bool {
-        self.register_job_with_policy(job, model, Box::new(TailoredPolicy::new()))
+        let quota = self.template.quota;
+        self.register_job_configured(job, model, Box::new(TailoredPolicy::new()), quota)
     }
 
     /// Registers a tenant with a custom caching policy — each tenant may
-    /// tune caching to its own workloads (paper Appendix A).
+    /// tune caching to its own workloads (paper Appendix A). The quota
+    /// follows the template.
     pub fn register_job_with_policy(
         &mut self,
         job: JobId,
         model: ModelArch,
         policy: Box<dyn CachingPolicy>,
+    ) -> bool {
+        let quota = self.template.quota;
+        self.register_job_configured(job, model, policy, quota)
+    }
+
+    /// Registers a tenant with its own memory budget (overriding the
+    /// template's; `None` leaves the tenant unbounded) and the default
+    /// tailored policy.
+    pub fn register_job_with_quota(
+        &mut self,
+        job: JobId,
+        model: ModelArch,
+        quota: Option<TenantQuota>,
+    ) -> bool {
+        self.register_job_configured(job, model, Box::new(TailoredPolicy::new()), quota)
+    }
+
+    /// Full-control registration: custom caching policy and per-tenant
+    /// quota.
+    pub fn register_job_configured(
+        &mut self,
+        job: JobId,
+        model: ModelArch,
+        policy: Box<dyn CachingPolicy>,
+        quota: Option<TenantQuota>,
     ) -> bool {
         if self.tenants.contains_key(&job) {
             return false;
@@ -118,6 +165,7 @@ impl MultiTenantStore {
         // Function sizing follows each tenant's model, as in single-tenant
         // deployments.
         cfg.function_config = FlStoreConfig::for_model(&model).function_config;
+        cfg.quota = quota;
         self.tenants
             .insert(job, FlStore::new(cfg, policy, job, model));
         true
@@ -147,8 +195,10 @@ impl MultiTenantStore {
     ///
     /// # Errors
     ///
-    /// Returns [`FlStoreError::NoData`] if the round belongs to an
-    /// unregistered job.
+    /// Returns [`FlStoreError::UnknownJob`] if the round belongs to an
+    /// unregistered job — an admission failure carrying the offending job,
+    /// exactly what the typed front door reports, never a synthesized
+    /// request id.
     pub fn ingest_round(
         &mut self,
         now: SimTime,
@@ -157,9 +207,7 @@ impl MultiTenantStore {
     ) -> Result<IngestReceipt, FlStoreError> {
         match self.tenants.get_mut(&job) {
             Some(store) => Ok(store.ingest_round(now, record)),
-            None => Err(FlStoreError::NoData {
-                request: flstore_workloads::request::RequestId::new(0),
-            }),
+            None => Err(FlStoreError::UnknownJob { job }),
         }
     }
 
@@ -167,8 +215,9 @@ impl MultiTenantStore {
     ///
     /// # Errors
     ///
-    /// Returns [`FlStoreError::NoData`] for unregistered jobs, or whatever
-    /// the tenant store returns.
+    /// Returns [`FlStoreError::UnknownJob`] for unregistered jobs (the
+    /// same admission semantics as the typed front door), or whatever the
+    /// tenant store returns.
     pub fn serve(
         &mut self,
         now: SimTime,
@@ -176,15 +225,43 @@ impl MultiTenantStore {
     ) -> Result<ServedRequest, FlStoreError> {
         match self.tenants.get_mut(&request.job) {
             Some(store) => store.serve(now, request),
-            None => Err(FlStoreError::NoData {
-                request: request.id,
-            }),
+            None => Err(FlStoreError::UnknownJob { job: request.job }),
         }
     }
 
     /// Aggregate cost across tenants over the window ending at `now`.
     pub fn total_cost(&mut self, now: SimTime) -> CostBreakdown {
         self.tenants.values_mut().map(|s| s.total_cost(now)).sum()
+    }
+
+    /// Per-tenant quota occupancy rows, in job order.
+    pub fn quota_usages(&self) -> Vec<QuotaUsage> {
+        self.tenants().map(|s| s.quota_usage()).collect()
+    }
+
+    /// Runs one deterministic cross-tenant pressure pass: when the
+    /// aggregate resident front exceeds the global budget, the
+    /// most-over-budget *elastic* tenants shed their own policy victims
+    /// (computed by [`pressure_plan`], applied in plan order) until the
+    /// excess is reclaimed or no elastic overage remains. Returns the full
+    /// `(job, key)` victim sequence — identical run-to-run for identical
+    /// traffic, which is what keeps the figure harness byte-stable.
+    ///
+    /// No-op (and empty) without a global budget.
+    pub fn pressure_pass(&mut self) -> Vec<(JobId, MetaKey)> {
+        let Some(global) = self.global_budget else {
+            return Vec::new();
+        };
+        let plan = pressure_plan(&self.quota_usages(), global);
+        let mut evicted = Vec::new();
+        for (job, need) in plan {
+            if let Some(store) = self.tenants.get_mut(&job) {
+                for key in store.reclaim(need) {
+                    evicted.push((job, key));
+                }
+            }
+        }
+        evicted
     }
 }
 
@@ -323,10 +400,24 @@ mod tests {
             flstore_fl::ids::Round::ZERO,
             None,
         );
-        assert!(matches!(
+        assert_eq!(
             front.serve(SimTime::ZERO, &req).unwrap_err(),
-            FlStoreError::NoData { .. }
-        ));
+            FlStoreError::UnknownJob {
+                job: JobId::new(42)
+            }
+        );
+        // The ingest path reports the same honest admission failure — and
+        // never a synthesized request id.
+        let cfg = FlJobConfig::quick_test(JobId::new(42));
+        let record = FlJobSim::new(cfg).next().expect("one round");
+        assert_eq!(
+            front
+                .ingest_round(SimTime::ZERO, JobId::new(42), &record)
+                .unwrap_err(),
+            FlStoreError::UnknownJob {
+                job: JobId::new(42)
+            }
+        );
     }
 
     #[test]

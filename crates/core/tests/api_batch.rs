@@ -18,6 +18,7 @@ use proptest::prelude::*;
 
 use flstore_core::api::{Request, Response, Service};
 use flstore_core::policy::TailoredPolicy;
+use flstore_core::quota::TenantQuota;
 use flstore_core::store::{FlStore, FlStoreConfig};
 use flstore_core::tenancy::MultiTenantStore;
 use flstore_exec::ShardedExecutor;
@@ -226,8 +227,11 @@ fn assert_sharded_single_tenant_equivalent(limited: bool, seed: u64, len: usize)
 const TENANT_JOBS: [u32; 3] = [1, 2, 5];
 
 /// A multi-tenant front end with every tenant trained up to (but not
-/// including) its last round, plus the per-tenant record sets.
-fn loaded_front() -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
+/// including) its last round, plus the per-tenant record sets. With
+/// `quotas`, arms elastic per-tenant budgets sized to be overshot and a
+/// global budget sized to force the pressure pass at every Stats barrier —
+/// the cross-tenant quota-pressure shape.
+fn loaded_front_with_quotas(quotas: bool) -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
     let template = FlStoreConfig {
         platform: PlatformConfig {
             reclaim: ReclaimModel::DISABLED,
@@ -242,7 +246,15 @@ fn loaded_front() -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
             rounds: 4,
             ..FlJobConfig::quick_test(JobId::new(job))
         };
-        front.register_job(cfg.job, cfg.model);
+        if quotas {
+            // Roughly one round of metadata: the tailored hot set (~2
+            // rounds) overshoots this, so every tenant carries an elastic
+            // overage the pressure plan can claim.
+            let soft = cfg.round_metadata_bytes();
+            front.register_job_with_quota(cfg.job, cfg.model, Some(TenantQuota::elastic(soft)));
+        } else {
+            front.register_job(cfg.job, cfg.model);
+        }
         let records: Vec<RoundRecord> = FlJobSim::new(cfg.clone()).collect();
         let mut now = SimTime::ZERO;
         for r in &records[..records.len() - 1] {
@@ -250,6 +262,12 @@ fn loaded_front() -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
             now += SimDuration::from_secs(60);
         }
         per_job.push(records);
+    }
+    if quotas {
+        // Below aggregate residency: any Stats envelope in the mix
+        // triggers real cross-tenant reclamation.
+        let budget = job_config().round_metadata_bytes() * (TENANT_JOBS.len() as u64 + 1);
+        front.set_global_budget(Some(budget));
     }
     (front, per_job)
 }
@@ -283,9 +301,11 @@ fn tenant_mix(seed: u64, len: usize, per_job: &[Vec<RoundRecord>]) -> Vec<Reques
 
 /// Multi-tenant plane: the sharded executor over the front end's tenants
 /// must be bit-for-bit identical to sequentially submitting to the front
-/// end — per-tenant ledgers and cache state included.
-fn assert_sharded_multi_tenant_equivalent(seed: u64, len: usize) {
-    let (mut sequential, per_job) = loaded_front();
+/// end — per-tenant ledgers and cache state included. With `quotas`, the
+/// same line holds under armed budgets: strict enforcement inside each
+/// shard and the global pressure pass at every Stats barrier.
+fn assert_sharded_multi_tenant_equivalent_with(quotas: bool, seed: u64, len: usize) {
+    let (mut sequential, per_job) = loaded_front_with_quotas(quotas);
     let mix = tenant_mix(seed, len, &per_job);
     let now = SimTime::from_secs(7200);
     let sequential_responses: Vec<Response> = mix
@@ -295,7 +315,7 @@ fn assert_sharded_multi_tenant_equivalent(seed: u64, len: usize) {
     let sequential_cost = sequential.total_cost(now);
 
     for shards in SHARD_COUNTS {
-        let (parallel, _) = loaded_front();
+        let (parallel, _) = loaded_front_with_quotas(quotas);
         let mut exec = ShardedExecutor::from_tenants(parallel, shards);
         let responses = exec.submit_batch(now, &mix);
         assert_eq!(
@@ -323,6 +343,105 @@ fn assert_sharded_multi_tenant_equivalent(seed: u64, len: usize) {
     }
 }
 
+/// Strict quota properties: a front with one strict-budgeted tenant and
+/// one unbounded bystander. After *every* envelope of any mix aimed at the
+/// strict tenant, (a) the strict tenant's residency never exceeds its
+/// budget, and (b) the bystander's cache is untouched — evictions are
+/// confined to the offending tenant's own keys.
+fn assert_strict_quota_bounded_and_confined(seed: u64, len: usize, budget_rounds: u64) {
+    let template = FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&job_config().model)
+    };
+    let mut front = MultiTenantStore::new(template);
+    let strict_job = JobId::new(JOB);
+    let bystander = JobId::new(2);
+    let cfg = FlJobConfig {
+        rounds: 6,
+        ..FlJobConfig::quick_test(strict_job)
+    };
+    let budget = cfg.round_metadata_bytes() * budget_rounds;
+    front.register_job_with_quota(strict_job, cfg.model, Some(TenantQuota::strict(budget)));
+    let bys_cfg = FlJobConfig {
+        rounds: 3,
+        ..FlJobConfig::quick_test(bystander)
+    };
+    front.register_job(bystander, bys_cfg.model);
+
+    let mut now = SimTime::ZERO;
+    for r in FlJobSim::new(bys_cfg) {
+        front.ingest_round(now, bystander, &r).expect("registered");
+        now += SimDuration::from_secs(60);
+    }
+    let bystander_before = cache_fingerprint(front.tenant(bystander).expect("registered"));
+
+    let records: Vec<RoundRecord> = FlJobSim::new(cfg.clone()).collect();
+    for r in &records[..records.len() - 1] {
+        front.ingest_round(now, strict_job, r).expect("registered");
+        now += SimDuration::from_secs(60);
+        let resident = front
+            .tenant(strict_job)
+            .expect("registered")
+            .resident_bytes();
+        assert!(
+            resident <= budget,
+            "ingest overshot the strict budget: {resident} > {budget}"
+        );
+    }
+
+    // An arbitrary envelope mix aimed at the strict tenant (serves,
+    // evictions, a held-back ingest, stats probes).
+    let mix = request_mix(seed, len, &records);
+    let at = SimTime::from_secs(7200);
+    for request in mix {
+        front.submit(at, request);
+        let resident = front
+            .tenant(strict_job)
+            .expect("registered")
+            .resident_bytes();
+        assert!(
+            resident <= budget,
+            "an envelope overshot the strict budget: {resident} > {budget}"
+        );
+    }
+    assert_eq!(
+        cache_fingerprint(front.tenant(bystander).expect("registered")),
+        bystander_before,
+        "strict-quota evictions leaked into another tenant's cache"
+    );
+}
+
+/// Elastic pressure determinism: two identically-loaded fronts must shed
+/// the exact same `(job, key)` victim sequence from their pressure passes
+/// interleaved with the same traffic.
+fn assert_elastic_pressure_deterministic(seed: u64, len: usize) {
+    let (mut a, per_job) = loaded_front_with_quotas(true);
+    let (mut b, _) = loaded_front_with_quotas(true);
+    let mix = tenant_mix(seed, len, &per_job);
+    let now = SimTime::from_secs(7200);
+    // Prime with one explicit pass: loading overshoots the global budget
+    // by construction, so this first pass always reclaims — an empty
+    // overall sequence would mean the property exercised nothing. (Stats
+    // envelopes inside the mix run further passes internally; the
+    // explicit per-envelope pass below catches overshoot from serves.)
+    let mut victims_a = a.pressure_pass();
+    let mut victims_b = b.pressure_pass();
+    assert!(
+        !victims_a.is_empty(),
+        "the quota fixture no longer triggers pressure"
+    );
+    for request in &mix {
+        a.submit(now, request.clone());
+        b.submit(now, request.clone());
+        victims_a.extend(a.pressure_pass());
+        victims_b.extend(b.pressure_pass());
+    }
+    assert_eq!(victims_a, victims_b, "victim sequences diverged");
+}
+
 proptest! {
     #[test]
     fn batch_equals_sequential_unconstrained(seed in 0u64..1_000_000, len in 1usize..24) {
@@ -346,6 +465,25 @@ proptest! {
 
     #[test]
     fn sharded_executor_equals_sequential_multi_tenant(seed in 0u64..1_000_000, len in 1usize..16) {
-        assert_sharded_multi_tenant_equivalent(seed, len);
+        assert_sharded_multi_tenant_equivalent_with(false, seed, len);
+    }
+
+    #[test]
+    fn sharded_executor_equals_sequential_under_quota_pressure(seed in 0u64..1_000_000, len in 1usize..12) {
+        assert_sharded_multi_tenant_equivalent_with(true, seed, len);
+    }
+
+    #[test]
+    fn strict_quota_never_admits_past_budget_and_confines_evictions(
+        seed in 0u64..1_000_000,
+        len in 1usize..16,
+        budget_rounds in 1u64..3,
+    ) {
+        assert_strict_quota_bounded_and_confined(seed, len, budget_rounds);
+    }
+
+    #[test]
+    fn elastic_pressure_is_deterministic(seed in 0u64..1_000_000, len in 1usize..12) {
+        assert_elastic_pressure_deterministic(seed, len);
     }
 }

@@ -75,10 +75,12 @@ use std::thread::JoinHandle;
 
 use flstore_baselines::agg::AggregatorBaseline;
 use flstore_core::api::{ApiError, Request, Response, Service, StatsReport};
+use flstore_core::quota::{pressure_plan, QuotaUsage};
 use flstore_core::store::FlStore;
 use flstore_core::tenancy::MultiTenantStore;
 use flstore_core::tracker::RequestTracker;
 use flstore_fl::ids::JobId;
+use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::{Cost, CostBreakdown};
 use flstore_sim::time::SimTime;
 
@@ -92,11 +94,37 @@ use flstore_sim::time::SimTime;
 pub trait ShardUnit: Service + Send {
     /// The job whose traffic this unit serves.
     fn owned_job(&self) -> JobId;
+
+    /// This unit's quota occupancy row (consumed by the cross-tenant
+    /// pressure plane at Stats barriers). Units that do not account
+    /// residency report zero occupancy and no budget.
+    fn quota_usage(&self) -> QuotaUsage {
+        QuotaUsage {
+            job: self.owned_job(),
+            resident: ByteSize::ZERO,
+            quota: None,
+        }
+    }
+
+    /// Sheds at least `need` bytes of this unit's own cache under
+    /// cross-tenant pressure. Units without a reclaimable cache do
+    /// nothing.
+    fn reclaim(&mut self, need: ByteSize) {
+        let _ = need;
+    }
 }
 
 impl ShardUnit for FlStore {
     fn owned_job(&self) -> JobId {
         self.catalog().job()
+    }
+
+    fn quota_usage(&self) -> QuotaUsage {
+        FlStore::quota_usage(self)
+    }
+
+    fn reclaim(&mut self, need: ByteSize) {
+        let _ = FlStore::reclaim(self, need);
     }
 }
 
@@ -131,6 +159,17 @@ enum Command<U> {
     Stats {
         now: SimTime,
         reply: Sender<Vec<(JobId, Response)>>,
+    },
+    /// Report each owned unit's quota occupancy (the pressure plane's
+    /// input at a Stats barrier).
+    QuotaUsage {
+        reply: Sender<Vec<(JobId, QuotaUsage)>>,
+    },
+    /// Shed the planned bytes from each named owned unit (the pressure
+    /// plane's reclamation step), in plan order.
+    Reclaim {
+        needs: Vec<(JobId, ByteSize)>,
+        reply: Sender<()>,
     },
     /// Report each owned unit's window cost.
     WindowCost {
@@ -178,6 +217,22 @@ impl<U: ShardUnit> Shard<U> {
                         .map(|(job, unit)| (*job, unit.submit(now, Request::Stats)))
                         .collect();
                     let _ = reply.send(out);
+                }
+                Command::QuotaUsage { reply } => {
+                    let out = self
+                        .units
+                        .iter()
+                        .map(|(job, unit)| (*job, unit.quota_usage()))
+                        .collect();
+                    let _ = reply.send(out);
+                }
+                Command::Reclaim { needs, reply } => {
+                    for (job, need) in needs {
+                        if let Some(&ix) = self.index.get(&job) {
+                            self.units[ix].1.reclaim(need);
+                        }
+                    }
+                    let _ = reply.send(());
                 }
                 Command::WindowCost { now, reply } => {
                     let out = self
@@ -298,6 +353,10 @@ pub struct ShardedExecutor<U: ShardUnit + 'static> {
     /// [`ShardedExecutor::from_tenants`], so wrapping a 1-tenant front is
     /// still bit-for-bit identical to it.
     tenancy: bool,
+    /// Aggregate residency budget carried over from the wrapped
+    /// [`MultiTenantStore`]: the cross-tenant pressure pass runs at Stats
+    /// barriers, exactly where the sequential front end runs it.
+    global_budget: Option<ByteSize>,
     tracker: Arc<RequestTracker>,
 }
 
@@ -314,6 +373,7 @@ impl ShardedExecutor<FlStore> {
     /// Panics if the front end has no registered tenants or `shards` is
     /// zero.
     pub fn from_tenants(front: MultiTenantStore, shards: usize) -> Self {
+        let global_budget = front.global_budget();
         let units: Vec<FlStore> = front
             .into_tenants()
             .into_iter()
@@ -321,6 +381,7 @@ impl ShardedExecutor<FlStore> {
             .collect();
         let mut exec = ShardedExecutor::new(units, shards);
         exec.tenancy = true;
+        exec.global_budget = global_budget;
         exec.label = format!("FLStore-MT({})", exec.tenants);
         exec
     }
@@ -402,6 +463,7 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
             label,
             tenants,
             tenancy: tenants > 1,
+            global_budget: None,
             tracker,
         }
     }
@@ -538,10 +600,64 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
         assert_eq!(merged, expected, "a shard worker died mid-batch");
     }
 
-    /// The barrier aggregate answering [`Request::Stats`]: per-unit stats
-    /// summed in job order, labelled as the (multi-tenant) plane. A
-    /// single-unit executor forwards the unit's own report verbatim.
+    /// One cross-tenant pressure pass at a Stats barrier: gathers every
+    /// unit's occupancy, computes the same deterministic
+    /// [`pressure_plan`] the sequential front end computes, and tells the
+    /// shard owning each over-budget tenant to shed its victims. Quotas
+    /// themselves are enforced *inside* each worker-owned shard (a strict
+    /// unit bounds itself); only this global fold needs the barrier.
+    fn pressure_pass(&self) {
+        let Some(global) = self.global_budget else {
+            return;
+        };
+        let usages: Vec<QuotaUsage> = self
+            .gather(|reply| Command::QuotaUsage { reply })
+            .into_iter()
+            .map(|(_, usage)| usage)
+            .collect();
+        let plan = pressure_plan(&usages, global);
+        if plan.is_empty() {
+            return;
+        }
+        let mut per_shard: Vec<Vec<(JobId, ByteSize)>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for (job, need) in plan {
+            let shard = *self.route.get(&job).expect("planned jobs are owned");
+            per_shard[shard].push((job, need));
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut expected = 0;
+        for (shard, needs) in per_shard.into_iter().enumerate() {
+            if needs.is_empty() {
+                continue;
+            }
+            expected += 1;
+            let sender = self.workers[shard]
+                .sender
+                .as_ref()
+                .expect("workers live until drop");
+            sender
+                .send(Command::Reclaim {
+                    needs,
+                    reply: tx.clone(),
+                })
+                .expect("worker accepts commands");
+        }
+        drop(tx);
+        assert_eq!(
+            rx.iter().count(),
+            expected,
+            "a shard worker died mid-reclaim"
+        );
+    }
+
+    /// The barrier aggregate answering [`Request::Stats`]: the pressure
+    /// pass runs first (the same trigger point the sequential front end
+    /// uses), then per-unit stats are summed in job order, labelled as the
+    /// (multi-tenant) plane. A single-unit executor forwards the unit's
+    /// own report verbatim.
     fn stats_response(&self, now: SimTime) -> Response {
+        self.pressure_pass();
         let mut per_unit = self.gather(|reply| Command::Stats { now, reply });
         if !self.tenancy {
             return per_unit.remove(0).1;
@@ -554,6 +670,7 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
             cache_misses: 0,
             hit_rate: 1.0,
             faults: 0,
+            quota: Vec::new(),
         };
         for (_, response) in per_unit {
             let Response::Stats(stats) = response else {
@@ -563,6 +680,7 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
             report.cache_hits += stats.cache_hits;
             report.cache_misses += stats.cache_misses;
             report.faults += stats.faults;
+            report.quota.extend(stats.quota);
         }
         let touched = report.cache_hits + report.cache_misses;
         if touched > 0 {

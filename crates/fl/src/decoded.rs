@@ -25,8 +25,15 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use flstore_cloud::blob::Blob;
+use flstore_sim::bytes::ByteSize;
 
 use crate::metadata::{MetaKey, MetaValue, SharedValue};
+
+/// Fixed per-entry bookkeeping charge: one hash-map slot (~48 B), the
+/// pinned `Bytes` handle (~32 B), and the `Arc` header (~32 B). The
+/// decoded value itself is charged via
+/// [`MetaValue::resident_estimate`].
+const ENTRY_OVERHEAD: ByteSize = ByteSize::from_bytes(112);
 
 /// Byte-identity check: whether two handles view *the same slice of
 /// memory* (same starting address, same length). Unlike the vendored
@@ -61,6 +68,21 @@ struct Entry {
     /// the backing buffer, making the [`same_bytes`] identity check sound.
     payload: Bytes,
     value: SharedValue,
+    /// This entry's contribution to [`DecodedCache::resident_bytes`]
+    /// (value estimate + fixed bookkeeping), recorded at insertion so
+    /// removal subtracts exactly what was added.
+    charge: ByteSize,
+}
+
+impl Entry {
+    fn new(payload: Bytes, value: SharedValue) -> Self {
+        let charge = value.resident_estimate() + ENTRY_OVERHEAD;
+        Entry {
+            payload,
+            value,
+            charge,
+        }
+    }
 }
 
 /// Maps cached object keys to their decoded value handles.
@@ -92,6 +114,7 @@ struct Entry {
 pub struct DecodedCache {
     entries: HashMap<MetaKey, Entry>,
     stats: DecodedStats,
+    resident: ByteSize,
 }
 
 impl DecodedCache {
@@ -115,6 +138,31 @@ impl DecodedCache {
         self.stats
     }
 
+    /// Estimated resident memory of the decoded layer: one
+    /// [`MetaValue::resident_estimate`] per entry plus fixed per-entry
+    /// bookkeeping. Maintained incrementally, so reading it is O(1) — the
+    /// accounting capacity/quota decisions fold into their budgets.
+    pub fn resident_bytes(&self) -> ByteSize {
+        self.resident
+    }
+
+    fn insert_entry(&mut self, key: MetaKey, entry: Entry) {
+        self.resident += entry.charge;
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.resident = self.resident.saturating_sub(old.charge);
+        }
+    }
+
+    fn remove_entry(&mut self, key: &MetaKey) -> bool {
+        match self.entries.remove(key) {
+            Some(old) => {
+                self.resident = self.resident.saturating_sub(old.charge);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The decoded handle for `key`, if present. Trusts the owner's
     /// explicit invalidation; use [`DecodedCache::get_or_decode`] when the
     /// current blob is at hand and byte-identity should be verified.
@@ -136,7 +184,7 @@ impl DecodedCache {
             }
             // Same key, different bytes: the object was overwritten.
             self.stats.invalidations += 1;
-            self.entries.remove(key);
+            self.remove_entry(key);
         }
         self.decode_insert(*key, blob)
     }
@@ -155,18 +203,12 @@ impl DecodedCache {
             return;
         }
         self.stats.seeded += 1;
-        self.entries.insert(
-            key,
-            Entry {
-                payload: blob.payload().clone(),
-                value,
-            },
-        );
+        self.insert_entry(key, Entry::new(blob.payload().clone(), value));
     }
 
     /// Drops the entry for `key` (owner-side eviction/overwrite).
     pub fn invalidate(&mut self, key: &MetaKey) {
-        if self.entries.remove(key).is_some() {
+        if self.remove_entry(key) {
             self.stats.invalidations += 1;
         }
     }
@@ -175,18 +217,13 @@ impl DecodedCache {
     pub fn clear(&mut self) {
         self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
+        self.resident = ByteSize::ZERO;
     }
 
     fn decode_insert(&mut self, key: MetaKey, blob: &Blob) -> Option<SharedValue> {
         self.stats.decodes += 1;
         let value = MetaValue::decode_shared(blob)?;
-        self.entries.insert(
-            key,
-            Entry {
-                payload: blob.payload().clone(),
-                value: value.clone(),
-            },
-        );
+        self.insert_entry(key, Entry::new(blob.payload().clone(), value.clone()));
         Some(value)
     }
 }
@@ -292,6 +329,30 @@ mod tests {
         let empty = Bytes::new();
         assert!(!same_bytes(&empty, &Bytes::new()));
         assert!(!same_bytes(&empty, &empty.clone()));
+    }
+
+    #[test]
+    fn resident_bytes_track_entry_lifecycle() {
+        let (key, value, blob) = sample();
+        let mut cache = DecodedCache::new();
+        assert_eq!(cache.resident_bytes(), ByteSize::ZERO);
+        cache.seed(key, &blob, value.clone());
+        let one = cache.resident_bytes();
+        assert!(one >= value.resident_estimate(), "{one}");
+
+        // Re-seeding the same key replaces the charge instead of leaking it.
+        cache.seed(key, &blob, value.clone());
+        assert_eq!(cache.resident_bytes(), one);
+
+        // Invalidation returns the bytes.
+        cache.invalidate(&key);
+        assert_eq!(cache.resident_bytes(), ByteSize::ZERO);
+
+        // Decoding charges; clearing zeroes.
+        cache.get_or_decode(&key, &blob).expect("decodable");
+        assert!(cache.resident_bytes() > ByteSize::ZERO);
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), ByteSize::ZERO);
     }
 
     #[test]

@@ -177,6 +177,20 @@ impl MetaValue {
         }
     }
 
+    /// Estimated in-memory footprint of the *decoded* value (the
+    /// `Arc<MetaValue>` a decoded-value cache holds resident), independent
+    /// of the logical artifact size. Weights dominate (4 B/f32 element);
+    /// the small records are a constant plus per-client rows.
+    pub fn resident_estimate(&self) -> ByteSize {
+        let body = match self {
+            MetaValue::Update(u) => 96 + 4 * u.weights.dim() as u64,
+            MetaValue::Aggregate(a) => 64 + 4 * a.weights.dim() as u64,
+            MetaValue::Hyper(_) => 64,
+            MetaValue::Metrics(m) => 64 + 96 * m.clients.len() as u64,
+        };
+        ByteSize::from_bytes(body)
+    }
+
     /// Serializes into a storable blob (JSON payload + logical size).
     pub fn to_blob(&self, model: &ModelArch) -> Blob {
         let payload = serde_json::to_vec(self).expect("metadata serializes");
@@ -316,6 +330,25 @@ mod tests {
         assert!(kinds.contains(&MetaKind::RoundMetrics));
         // Every key carries the right job id.
         assert!(blobs.iter().all(|(k, _)| k.job == JobId::new(4)));
+    }
+
+    #[test]
+    fn resident_estimates_track_content() {
+        let mut sim = FlJobSim::new(FlJobConfig::quick_test(JobId::new(5)));
+        let record = sim.next().expect("has rounds");
+        let update = MetaValue::Update(record.updates[0].clone());
+        let hyper = MetaValue::Hyper(record.hyperparams.clone());
+        let metrics = MetaValue::Metrics(record.metrics.clone());
+        // Weights dominate an update's decoded footprint.
+        assert!(update.resident_estimate() > hyper.resident_estimate());
+        // Metrics grow with the client pool.
+        assert!(
+            metrics.resident_estimate()
+                > ByteSize::from_bytes(96 * record.metrics.clients.len() as u64)
+        );
+        // Decoded residency is not the logical artifact size: a decoded
+        // update is far smaller than the serialized model it stands for.
+        assert!(update.resident_estimate() < update.logical_size(&ModelArch::RESNET18));
     }
 
     #[test]

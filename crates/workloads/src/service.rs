@@ -134,6 +134,7 @@ mod tests {
     use flstore_sim::time::SimDuration;
 
     fn outcome(
+        id: u64,
         kind: WorkloadKind,
         secs: f64,
         dollars: f64,
@@ -141,7 +142,7 @@ mod tests {
         misses: usize,
     ) -> RequestOutcome {
         RequestOutcome {
-            request: RequestId::new(0),
+            request: RequestId::new(id),
             kind,
             arrived: SimTime::ZERO,
             finished: SimTime::ZERO + SimDuration::from_secs_f64(secs),
@@ -158,10 +159,10 @@ mod tests {
         let mut ledger = ServiceLedger::new();
         ledger
             .outcomes
-            .push(outcome(WorkloadKind::Inference, 1.0, 0.001, 9, 1));
+            .push(outcome(1, WorkloadKind::Inference, 1.0, 0.001, 9, 1));
         ledger
             .outcomes
-            .push(outcome(WorkloadKind::Clustering, 6.0, 0.002, 10, 0));
+            .push(outcome(2, WorkloadKind::Clustering, 6.0, 0.002, 10, 0));
         ledger.background_cost += CostBreakdown::compute_only(Cost::from_dollars(0.01));
         assert_eq!(ledger.len(), 2);
         assert_eq!(ledger.hits(), 19);
@@ -176,7 +177,7 @@ mod tests {
     #[test]
     fn empty_ledger_hit_rate_is_one() {
         assert_eq!(ServiceLedger::new().hit_rate(), 1.0);
-        let o = outcome(WorkloadKind::Inference, 0.0, 0.0, 0, 0);
+        let o = outcome(3, WorkloadKind::Inference, 0.0, 0.0, 0, 0);
         assert_eq!(o.hit_rate(), 1.0);
     }
 }

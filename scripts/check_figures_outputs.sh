@@ -21,6 +21,16 @@ if [ -z "$expected" ]; then
     exit 1
 fi
 
+# Experiments the suite must never silently lose: the quota/pressure
+# sweep (tenancy) feeds the parallel-determinism gate, so deregistering
+# it would shrink coverage without any file going missing.
+for required in tenancy jobs overhead; do
+    if ! echo "$expected" | grep -qx "$required"; then
+        echo "required experiment '$required' missing from figures -- --list" >&2
+        exit 1
+    fi
+done
+
 missing=0
 count=0
 for f in $expected; do

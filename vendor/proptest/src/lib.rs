@@ -13,11 +13,21 @@ use std::ops::{Range, RangeInclusive};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-/// Number of cases per property, from `PROPTEST_CASES` (default 64).
+/// Number of cases per property, from the `PROPTEST_CASES` environment
+/// variable (default 64) — crank it up locally to stress a property
+/// harder, or down for a fast edit-test loop. Unparsable or zero values
+/// fall back to the default: a property that silently ran zero cases
+/// would report success while testing nothing.
 pub fn cases() -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    cases_from(std::env::var("PROPTEST_CASES").ok().as_deref())
+}
+
+/// The override-parsing rule behind [`cases`], separated so it can be
+/// tested without mutating the process environment (which would race
+/// with sibling property tests reading it on other threads).
+fn cases_from(raw: Option<&str>) -> u32 {
+    raw.and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
         .unwrap_or(64)
 }
 
@@ -342,6 +352,18 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn cases_honours_env_override_and_refuses_zero() {
+        assert_eq!(crate::cases_from(Some("7")), 7);
+        assert_eq!(
+            crate::cases_from(Some("0")),
+            64,
+            "zero cases would test nothing"
+        );
+        assert_eq!(crate::cases_from(Some("not-a-number")), 64);
+        assert_eq!(crate::cases_from(None), 64);
+    }
 
     proptest! {
         #[test]
