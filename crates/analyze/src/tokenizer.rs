@@ -1,0 +1,300 @@
+//! A small Rust-aware tokenizer: just enough lexing for line/token-level
+//! lint rules. It understands comments (line + nested block), string and
+//! char literals (including raw and byte strings), lifetimes, numbers,
+//! identifiers, and collapses `::` into one punctuation token — so the
+//! rule scanners never match text inside strings or comments.
+//!
+//! This is deliberately not a parser: the lint layer works on token
+//! sequences plus a handful of structural helpers (brace matching,
+//! statement boundaries) and keeps its honesty by allowing per-site
+//! annotations wherever the heuristics cannot see far enough.
+
+/// The coarse classification a lint rule needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `sort_unstable`, ...).
+    Ident,
+    /// Punctuation; `::` is one token, everything else is one char.
+    Punct,
+    /// String/char/number literal (content preserved for float checks).
+    Literal,
+    /// Line or block comment, content preserved for annotation parsing.
+    Comment,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Coarse kind.
+    pub kind: TokKind,
+    /// Source text (comments keep their full body).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32) -> Self {
+        Tok {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+/// Lexes `src` into a flat token stream. Unterminated constructs consume
+/// to end-of-input rather than erroring: the lint must degrade gracefully
+/// on any file rustc itself would reject.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok::new(TokKind::Comment, text, line));
+            continue;
+        }
+        // Block comment (nested, possibly multi-line).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok::new(TokKind::Comment, text, start_line));
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br"..." / br#"..."#.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    let start_line = line;
+                    k += 1;
+                    // Consume until `"` followed by `hashes` hashes.
+                    loop {
+                        if k >= n {
+                            break;
+                        }
+                        if chars[k] == '\n' {
+                            line += 1;
+                            k += 1;
+                            continue;
+                        }
+                        if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && chars[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    toks.push(Tok::new(TokKind::Literal, "r\"...\"", start_line));
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let start_line = line;
+            let mut k = if c == 'b' { i + 2 } else { i + 1 };
+            while k < n {
+                match chars[k] {
+                    '\\' => k += 2,
+                    '"' => {
+                        k += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            toks.push(Tok::new(TokKind::Literal, "\"...\"", start_line));
+            i = k;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: consume to closing quote.
+                let mut k = i + 2;
+                while k < n && chars[k] != '\'' {
+                    k += 1;
+                }
+                toks.push(Tok::new(TokKind::Literal, "'\\?'", line));
+                i = (k + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                toks.push(Tok::new(TokKind::Literal, "'?'", line));
+                i += 3;
+                continue;
+            }
+            // Lifetime: skip the quote and its identifier.
+            let mut k = i + 1;
+            while k < n && is_ident_cont(chars[k]) {
+                k += 1;
+            }
+            i = k;
+            continue;
+        }
+        // Numbers (enough to spot float literals: keep `.`-joined digits).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            // `1.5`: take the dot only when a digit follows (so `0..n`
+            // ranges and `1.max(2)` method calls stay separate tokens).
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok::new(TokKind::Literal, text, line));
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok::new(TokKind::Ident, text, line));
+            continue;
+        }
+        // `::` is one token; everything else single-char punctuation.
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            toks.push(Tok::new(TokKind::Punct, "::", line));
+            i += 2;
+            continue;
+        }
+        toks.push(Tok::new(TokKind::Punct, c, line));
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* SystemTime::now() */ still comment */
+            let s = "Instant::now() inside a string";
+            let r = r#"HashSet "raw""#;
+        "##;
+        let t = texts(src);
+        assert!(!t
+            .iter()
+            .any(|x| x == "HashMap" || x == "SystemTime" || x == "HashSet"));
+        assert!(t.iter().any(|x| x == "let"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(t.iter().any(|x| x == "str"));
+        // The content after a lifetime must still lex.
+        assert!(t.iter().any(|x| x == "fn"));
+    }
+
+    #[test]
+    fn float_literals_keep_their_dot() {
+        let t = texts("let x = 1.5e-3 + 0.0; let r = 0..n; let m = 1.max(2);");
+        assert!(t.iter().any(|x| x == "1.5e"));
+        assert!(t.iter().any(|x| x == "0.0"));
+        assert!(t.iter().any(|x| x == "max"));
+        // Range endpoints stay integers.
+        assert!(t.iter().any(|x| x == "0"));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let t = texts("SystemTime::now()");
+        assert_eq!(t, vec!["SystemTime", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn comments_carry_their_bodies_for_annotations() {
+        let toks = tokenize("let x = 1; // flstore: allow(wall_clock, reason)");
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+        assert!(c.text.contains("flstore: allow(wall_clock"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: ambient randomness — everything must come from seeded streams.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    let direct: u64 = rand::random();
+    let seeded_wrong = SmallRng::from_entropy();
+    direct
+}

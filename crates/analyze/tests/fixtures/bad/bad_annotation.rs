@@ -1,0 +1,6 @@
+// Fixture: malformed suppressions are themselves violations.
+// flstore: allow(wall_clock)
+pub fn missing_reason() {}
+
+// flstore: allow(no_such_rule, with a reason)
+pub fn unknown_rule() {}

@@ -1,0 +1,11 @@
+// Fixture: std::sync locks and poison handling where parking_lot is
+// mandated.
+use std::sync::{Arc, Mutex, RwLock};
+
+pub fn locked(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+pub fn read(rw: &Arc<RwLock<u64>>) -> u64 {
+    *rw.read().expect("not poisoned")
+}

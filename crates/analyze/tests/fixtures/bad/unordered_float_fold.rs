@@ -1,0 +1,17 @@
+// Fixture: float accumulation over hash iteration — the rule must pick
+// the sharper `unordered_float_fold` id, not plain `unordered_iter`.
+use std::collections::HashMap;
+
+pub struct Metrics {
+    pub losses: HashMap<u64, f64>,
+}
+
+impl Metrics {
+    pub fn total(&self) -> f64 {
+        self.losses.values().sum::<f64>()
+    }
+
+    pub fn folded(&self) -> f64 {
+        self.losses.values().fold(0.0, |acc, l| acc + l)
+    }
+}

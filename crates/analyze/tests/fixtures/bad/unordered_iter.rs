@@ -1,0 +1,22 @@
+// Fixture: every hash-ordered iteration shape the lint must flag.
+use std::collections::{HashMap, HashSet};
+
+pub fn keys_in_hash_order(map: &HashMap<u64, u64>) -> Vec<u64> {
+    map.keys().copied().collect()
+}
+
+pub fn drain_leaks_order(set: &mut HashSet<u64>) -> Vec<u64> {
+    set.drain().collect()
+}
+
+pub fn for_loop_order_dependent(map: &HashMap<u64, u64>) -> u64 {
+    let mut last = 0;
+    for (_k, v) in map.iter() {
+        last = *v;
+    }
+    last
+}
+
+pub fn keyed_min_needs_total_order(map: &HashMap<u64, u64>) -> Option<u64> {
+    map.iter().min_by_key(|(_, v)| **v).map(|(k, _)| *k)
+}

@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads outside the allowlist.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let mono = Instant::now();
+    let wall = std::time::SystemTime::now();
+    (mono, wall)
+}

@@ -1,0 +1,56 @@
+// Fixture: determinism-crate code the lint must stay silent on — sorted
+// boundaries, order-independent reductions, ordered containers, and a
+// justified suppression.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Caches {
+    pub sizes: HashMap<u64, u64>,
+    pub seen: HashSet<u64>,
+    pub ordered: BTreeMap<u64, u64>,
+}
+
+impl Caches {
+    pub fn sorted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.sizes.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    pub fn live(&self) -> usize {
+        self.sizes.values().filter(|v| **v > 0).count()
+    }
+
+    pub fn holds(&self, k: u64) -> bool {
+        self.seen.contains(&k)
+    }
+
+    pub fn ordered_walk(&self) -> Vec<u64> {
+        self.ordered.values().copied().collect()
+    }
+
+    pub fn biggest(&self) -> Option<u64> {
+        self.sizes.values().copied().max()
+    }
+
+    pub fn integer_total(&self) -> u64 {
+        // flstore: allow(unordered_iter, integer addition commutes; the sum is order-free)
+        self.sizes.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_iterate_freely() {
+        let c = Caches {
+            sizes: HashMap::new(),
+            seen: HashSet::new(),
+            ordered: BTreeMap::new(),
+        };
+        for v in c.sizes.values() {
+            let _ = v;
+        }
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: workspace-scope code the lint must stay silent on — vendored
+// parking_lot taken directly (no poison handling), simulated time, and
+// seeded randomness.
+use parking_lot::{Mutex, RwLock};
+
+pub struct Shared {
+    counter: Mutex<u64>,
+    table: RwLock<Vec<u64>>,
+}
+
+impl Shared {
+    pub fn bump(&self) -> u64 {
+        let mut c = self.counter.lock();
+        *c += 1;
+        *c
+    }
+
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.table.read().clone()
+    }
+}
+
+pub fn seeded_stream(seed: u64) -> u64 {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn simulated_deadline(now: SimTime) -> SimTime {
+    now + SimDuration::from_secs(30)
+}

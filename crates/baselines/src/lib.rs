@@ -11,6 +11,7 @@
 //! architectural: separated planes pay plane-crossing communication per
 //! request and always-on infrastructure per hour.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,5 +1,7 @@
 //! Regenerate the paper's tables and figures. See `flstore-bench` docs.
 
+#![forbid(unsafe_code)]
+
 use flstore_bench::{
     breakdown, headline, inventory, jobs, motivation, policies, robustness, tenancy, Scale,
 };
@@ -165,14 +167,22 @@ fn main() {
     if threads > 1 {
         println!("serving plane: sharded executor, {threads} worker threads");
     }
+    #[cfg(feature = "lock-order")]
+    eprintln!(
+        "lock-order deadlock detector: active — every lock acquisition is \
+         checked against the global acquisition-order graph"
+    );
     for name in to_run {
         let run = EXPERIMENTS
             .iter()
             .find(|(n, _, _)| *n == name)
             .map(|(_, f, _)| *f)
             .expect("resolved above");
+        // Progress timing goes to stderr so stdout stays byte-reproducible;
+        // allowlisted in analyze-allowlist.txt.
+        #[allow(clippy::disallowed_methods)]
         let started = std::time::Instant::now();
         let _ = run(scale);
-        println!("[{name} done in {:.1}s]", started.elapsed().as_secs_f64());
+        eprintln!("[{name} done in {:.1}s]", started.elapsed().as_secs_f64());
     }
 }

@@ -155,6 +155,13 @@ pub fn capacity(_scale: Scale) -> Value {
 
 /// §5.5 component overheads: Cache Engine and Request Tracker memory and
 /// operation latency at 1k and 100k in-flight requests.
+///
+/// The whole point of this experiment is to measure *real* wall-clock
+/// latency of tracker/engine operations, so it is the sanctioned home of
+/// `Instant::now()` (with `analyze-allowlist.txt` and
+/// `scripts/compare_results.sh` both naming it): the `*_us` fields it
+/// emits are the only run-dependent bytes in the result corpus.
+#[allow(clippy::disallowed_methods)]
 pub fn overhead(_scale: Scale) -> Value {
     header("§5.5 — Cache Engine and Request Tracker overhead");
     let mut out = Vec::new();

@@ -19,6 +19,7 @@
 //! the Cache Engine, Request Tracker, caching policies, workload kernels,
 //! and the end-to-end serve path.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

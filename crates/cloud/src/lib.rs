@@ -18,6 +18,7 @@
 //! `(latency, cost-breakdown)` pair — so callers compose end-to-end request
 //! latency and dollars without the services knowing who calls them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

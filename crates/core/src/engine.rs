@@ -111,9 +111,14 @@ impl CacheEngine {
         &mut self.decoded
     }
 
-    /// Iterates over all cached keys.
+    /// Iterates over all cached keys, in sorted key order. The backing map
+    /// is hash-ordered; exposing that order here would leak iteration
+    /// nondeterminism into every consumer (eviction scans, reclaim
+    /// handling), so the engine pays the sort once at the boundary.
     pub fn keys(&self) -> impl Iterator<Item = &MetaKey> {
-        self.locations.keys()
+        let mut keys: Vec<&MetaKey> = self.locations.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter()
     }
 
     /// Total logical bytes tracked (one replica's worth). O(1): the sum
@@ -176,12 +181,16 @@ impl CacheEngine {
     /// data now only exists in the persistent store).
     pub fn drop_replica(&mut self, failed: FunctionId) -> Vec<MetaKey> {
         let mut orphaned = Vec::new();
+        // flstore: allow(unordered_iter, every placement is visited exactly once and the collected keys are sorted below)
         for (key, replicas) in self.locations.iter_mut() {
             replicas.retain(|f| *f != failed);
             if replicas.is_empty() {
                 orphaned.push(*key);
             }
         }
+        // Hash order must not leak out through the return value: callers
+        // re-replicate / log these keys in the order given.
+        orphaned.sort_unstable();
         for key in &orphaned {
             self.remove(key);
         }

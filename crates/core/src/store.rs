@@ -740,6 +740,7 @@ impl FlStore {
         // least busy one — replicated functions double as parallel servers
         // (paper §A.1: scalability via copies of cached functions).
         let max_bytes = bytes_on.values().copied().max().unwrap_or(ByteSize::ZERO);
+        // flstore: allow(unordered_iter, min_by_key's (busy_until, raw id) key is a total order over candidates, so the minimum is unique regardless of hash order)
         let primary = bytes_on
             .iter()
             .filter(|(_, bytes)| **bytes == max_bytes)

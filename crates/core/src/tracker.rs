@@ -43,15 +43,24 @@ pub struct RequestEntry {
 /// tracker.complete(id);
 /// assert!(tracker.is_done(id).unwrap());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RequestTracker {
     entries: RwLock<HashMap<RequestId, RequestEntry>>,
 }
 
+impl Default for RequestTracker {
+    fn default() -> Self {
+        RequestTracker::new()
+    }
+}
+
 impl RequestTracker {
-    /// Creates an empty tracker.
+    /// Creates an empty tracker. The lock is named so the `lock-order`
+    /// deadlock detector can identify it in witness stacks.
     pub fn new() -> Self {
-        RequestTracker::default()
+        RequestTracker {
+            entries: RwLock::named(HashMap::new(), "core.tracker.entries"),
+        }
     }
 
     /// Records that `request` was routed to `functions`.

@@ -65,6 +65,7 @@
 //! assert_eq!(stores.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

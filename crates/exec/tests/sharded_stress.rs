@@ -13,7 +13,9 @@
 //!   serve envelope must end tracked, completed, and attributed to the
 //!   shard lane that owns its job.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use flstore_core::api::{Request, Response, Service};
 use flstore_core::store::FlStoreConfig;
@@ -118,7 +120,10 @@ fn worker_threads_track_every_serve_on_its_owning_lane() {
 #[test]
 fn client_threads_drive_one_executor_concurrently() {
     let (front, round) = loaded_front();
-    let exec = Arc::new(Mutex::new(ShardedExecutor::from_tenants(front, SHARDS)));
+    let exec = Arc::new(Mutex::named(
+        ShardedExecutor::from_tenants(front, SHARDS),
+        "exec.stress.clients",
+    ));
     let clients = 4u64;
     let batches_per_client = 8u64;
     let batch_len = 32u64;
@@ -136,10 +141,7 @@ fn client_threads_drive_one_executor_concurrently() {
                         serve(id, JOBS[(id % JOBS.len() as u64) as usize], round)
                     })
                     .collect();
-                let responses = exec
-                    .lock()
-                    .expect("no poisoned clients")
-                    .submit_batch(now, &batch);
+                let responses = exec.lock().submit_batch(now, &batch);
                 assert!(responses.iter().all(Response::is_ok));
             }
         }));
@@ -150,8 +152,7 @@ fn client_threads_drive_one_executor_concurrently() {
 
     let exec = Arc::try_unwrap(exec)
         .unwrap_or_else(|_| panic!("all clients joined"))
-        .into_inner()
-        .expect("unpoisoned");
+        .into_inner();
     let total = clients * batches_per_client * batch_len;
     assert_eq!(exec.tracker().len(), total as usize);
     assert_eq!(exec.tracker().in_flight(), 0);

@@ -23,6 +23,7 @@
 //! structure for real, and tests score them against the embedded ground
 //! truth.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

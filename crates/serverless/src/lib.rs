@@ -14,6 +14,7 @@
 //! warm sandboxes. [`platform::ReclaimModel`] exposes the knobs the
 //! experiments turn.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

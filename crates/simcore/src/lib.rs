@@ -39,6 +39,7 @@
 //! assert_eq!(latency.total(), SimDuration::from_secs_f64(2.8));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -13,6 +13,7 @@
 //! * [`scenario`] — one preset per paper experiment: eval jobs, policy
 //!   variants, fault-injection deployments, the 50-hour trace.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

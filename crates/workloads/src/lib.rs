@@ -24,6 +24,7 @@
 //! * [`run`] — [`execute`]: storage-agnostic dispatch.
 //! * [`outputs`] / [`algorithms`] — typed results and shared kernels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

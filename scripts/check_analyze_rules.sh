@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Drift guard for the determinism-lint rule inventory: the README's
+# "Correctness tooling" rules table (between the analyze-rules:begin/end
+# markers) must match `flstore-analyze --list-rules` exactly — same
+# rules, same scopes, same summaries, same order. A rule added, removed,
+# or reworded in crates/analyze/src/rules.rs without updating the README
+# (or vice versa) fails CI here.
+#
+# Usage: scripts/check_analyze_rules.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+actual="$(cargo run -q -p flstore-analyze -- --list-rules)"
+
+# Extract the README table rows and reduce them to the same
+# tab-separated `id<TAB>scope<TAB>summary` shape --list-rules emits.
+documented="$(
+    awk '/<!-- analyze-rules:begin -->/{f=1; next} /<!-- analyze-rules:end -->/{f=0} f' README.md |
+        grep '^| `' |
+        sed -E 's/^\| `([^`]+)` \| ([^|]+) \| (.*) \|$/\1\t\2\t\3/' |
+        sed -E 's/[[:space:]]+\t/\t/g; s/\t[[:space:]]+/\t/g; s/[[:space:]]+$//'
+)"
+
+if diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >/dev/null; then
+    count="$(printf '%s\n' "$actual" | wc -l)"
+    echo "analyze rules in sync: $count rules match between --list-rules and README.md"
+else
+    echo "README.md rules table has drifted from flstore-analyze --list-rules:" >&2
+    diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >&2 || true
+    echo >&2
+    echo "update the table between <!-- analyze-rules:begin/end --> in README.md" >&2
+    echo "(or the inventory in crates/analyze/src/rules.rs) so they agree." >&2
+    exit 1
+fi

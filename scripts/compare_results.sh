@@ -4,6 +4,15 @@
 # (dispatch_us/complete_us/record_us — real elapsed time, different on
 # every run), which are normalized away before comparing.
 #
+# Those *_us fields are the ONLY normalized bytes by design: the §5.5
+# overhead microbenchmark is the one sanctioned consumer of real
+# wall-clock time in the workspace (`Instant::now` is banned everywhere
+# else — see analyze-allowlist.txt and clippy.toml), so overhead.json is
+# the one file allowed to carry run-dependent bytes, and only in those
+# fields. Every other output derives purely from the simulated clock and
+# seeded RNG streams and must reproduce byte-for-byte. Widening the
+# normalization here would silently weaken the determinism gate.
+#
 # This is the standing parallel-determinism gate: CI runs the figures
 # sweep sequentially and with --threads 4 and feeds both directories
 # here, so any divergence between the sharded executor and sequential

@@ -11,14 +11,19 @@
 #   4. cargo clippy --all-targets -D warnings  (lint: BLOCKING, like CI)
 #   5. cargo fmt --check                       (lint: BLOCKING, like CI)
 #   6. cargo doc --no-deps -D warnings         (lint: public API stays documented)
-#   7. figures smoke: every experiment id end-to-end at --fast scale into
+#   7. determinism lint (analyze: BLOCKING, like CI) + rules/README
+#      drift guard via scripts/check_analyze_rules.sh
+#   8. lock-order detector tests: parking_lot unit tests + the exec
+#      stress/rendezvous/seeded-inversion suite, both --features lock-order
+#   9. figures smoke: every experiment id end-to-end at --fast scale into
 #      results-smoke/ (so full-scale results/ are never clobbered), then
 #      scripts/check_figures_outputs.sh — the same check CI runs.
-#   8. parallel determinism: the same sweep again with --threads 4 into
-#      results-smoke-threads4/, byte-diffed against the sequential run
-#      via scripts/compare_results.sh (overhead.json wall-clock fields
+#  10. parallel determinism: the same sweep again with --threads 4 (built
+#      with the lock-order detector armed) into results-smoke-threads4/,
+#      byte-diffed against the sequential run via
+#      scripts/compare_results.sh (overhead.json wall-clock fields
 #      excepted) — the sharded executor must be bit-for-bit sequential.
-#      Skip 7+8 with --skip-smoke for a quick edit-compile loop.
+#      Skip 9+10 with --skip-smoke for a quick edit-compile loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,6 +55,14 @@ echo
 echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
+# Correctness tooling (blocking, like CI's analyze job): the determinism
+# lint over the workspace sources, the rules/README drift guard, and the
+# lock-order deadlock detector suites.
+run cargo run -q -p flstore-analyze -- lint
+run scripts/check_analyze_rules.sh
+run cargo test -q -p parking_lot --features lock-order
+run cargo test -q -p flstore-exec --features lock-order
+
 if [ "$skip_smoke" -eq 0 ]; then
     # Smoke outputs go to their own directory so this run can neither be
     # satisfied by stale files nor clobber full-scale results/ the
@@ -61,10 +74,11 @@ if [ "$skip_smoke" -eq 0 ]; then
     run scripts/check_figures_outputs.sh results-smoke
 
     # Parallel determinism gate: the sharded executor must reproduce the
-    # sequential sweep byte for byte.
+    # sequential sweep byte for byte. --features lock-order arms the
+    # deadlock detector, so an inversion fails loudly instead of hanging.
     export FLSTORE_RESULTS_DIR=results-smoke-threads4
     rm -rf results-smoke-threads4
-    run cargo run --release --bin figures -- all --fast --threads 4
+    run cargo run --release -p flstore-bench --features lock-order --bin figures -- all --fast --threads 4
     unset FLSTORE_RESULTS_DIR
     run scripts/compare_results.sh results-smoke results-smoke-threads4
 else

@@ -56,6 +56,7 @@
 //! assert_eq!(served.measured.cache_misses, 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -7,6 +7,8 @@
 //! growable buffer that freezes into one. Only the API surface this
 //! workspace uses is provided.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
@@ -280,9 +282,10 @@ mod tests {
         assert_eq!(&world[..], b"world");
         // Subslices point into the parent's buffer.
         assert!(std::ptr::eq(hello.as_ref().as_ptr(), a.as_ref().as_ptr()));
-        assert!(std::ptr::eq(world.as_ref().as_ptr(), unsafe {
-            a.as_ref().as_ptr().add(6)
-        }));
+        assert!(std::ptr::eq(
+            world.as_ref().as_ptr(),
+            a.as_ref()[6..].as_ptr()
+        ));
         // Slicing a slice composes offsets.
         let ell = hello.slice(1..4);
         assert_eq!(&ell[..], b"ell");
@@ -296,9 +299,7 @@ mod tests {
         let a = Bytes::from_static(PAYLOAD);
         let mid = a.slice(2..=5);
         assert_eq!(&mid[..], b"2345");
-        assert!(std::ptr::eq(mid.as_ref().as_ptr(), unsafe {
-            PAYLOAD.as_ptr().add(2)
-        }));
+        assert!(std::ptr::eq(mid.as_ref().as_ptr(), PAYLOAD[2..].as_ptr()));
     }
 
     #[test]

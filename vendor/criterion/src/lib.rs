@@ -9,6 +9,8 @@
 //! enough to resolve it — with the default 20 samples p95 and p99 land on
 //! the slowest sample).
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -130,6 +132,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine` over this sample's iterations.
+    // Measuring real elapsed time is this harness's entire job; the
+    // workspace-wide wall-clock ban (clippy.toml) stops everywhere else.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         for _ in 0..self.iters {
@@ -139,6 +144,7 @@ impl Bencher {
     }
 
     /// Times `routine` with a fresh untimed `setup` product per iteration.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter_with_setup<S, O, SF: FnMut() -> S, R: FnMut(S) -> O>(
         &mut self,
         mut setup: SF,

@@ -4,13 +4,40 @@
 //! API: `read()` / `write()` / `lock()` return guards directly. A poisoned
 //! std lock is recovered by taking the inner guard, matching parking_lot's
 //! behavior of not propagating poison.
+//!
+//! # Lock-order deadlock detection (`lock-order` feature)
+//!
+//! With the `lock-order` feature enabled, every lock gets an id (and,
+//! via [`Mutex::named`] / [`RwLock::named`], a human-readable name), each
+//! thread keeps a stack of the locks it currently holds, and every
+//! acquisition records `held -> acquiring` edges into a global
+//! acquisition-order graph. If an acquisition would close a cycle in that
+//! graph — two threads taking the same pair of locks in opposite orders —
+//! the acquiring thread panics *before blocking*, printing both witness
+//! stacks: the current thread's held locks and the prior thread's stack
+//! that recorded the opposite order. The thread panics instead of
+//! deadlocking, so the test harness sees a failure instead of a hang.
+//!
+//! Without the feature, all instrumentation compiles away: the `named`
+//! constructors still exist (so call sites need no cfg), but guards carry
+//! no extra state and acquisition is exactly a `std::sync` lock call.
+
+#![forbid(unsafe_code)]
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+#[cfg(feature = "lock-order")]
+pub mod order;
+
+#[cfg(feature = "lock-order")]
+use order::LockId;
 
 /// A reader-writer lock that does not poison.
-#[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: LockId,
     inner: sync::RwLock<T>,
 }
 
@@ -18,6 +45,20 @@ impl<T> RwLock<T> {
     /// Creates a new lock.
     pub fn new(value: T) -> Self {
         RwLock {
+            #[cfg(feature = "lock-order")]
+            id: order::register(None),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a new lock carrying a name for lock-order diagnostics.
+    /// Without the `lock-order` feature this is identical to [`RwLock::new`].
+    pub fn named(value: T, name: &'static str) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = name;
+        RwLock {
+            #[cfg(feature = "lock-order")]
+            id: order::register(Some(name)),
             inner: sync::RwLock::new(value),
         }
     }
@@ -31,12 +72,24 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lock-order")]
+        order::on_acquire(self.id, order::Kind::Shared);
+        RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            id: self.id,
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lock-order")]
+        order::on_acquire(self.id, order::Kind::Exclusive);
+        RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            id: self.id,
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Mutable access without locking (requires `&mut self`).
@@ -48,6 +101,12 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
 impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RwLock")
@@ -56,9 +115,70 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: LockId,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: LockId,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// A mutex that does not poison.
-#[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: LockId,
     inner: sync::Mutex<T>,
 }
 
@@ -66,6 +186,20 @@ impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "lock-order")]
+            id: order::register(None),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a new mutex carrying a name for lock-order diagnostics.
+    /// Without the `lock-order` feature this is identical to [`Mutex::new`].
+    pub fn named(value: T, name: &'static str) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = name;
+        Mutex {
+            #[cfg(feature = "lock-order")]
+            id: order::register(Some(name)),
             inner: sync::Mutex::new(value),
         }
     }
@@ -79,7 +213,27 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lock-order")]
+        order::on_acquire(self.id, order::Kind::Exclusive);
+        MutexGuard {
+            #[cfg(feature = "lock-order")]
+            id: self.id,
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(_) => panic!("poisoned Mutex with unrecoverable inner reference"),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
@@ -88,5 +242,65 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
         f.debug_struct("Mutex")
             .field("data", &&*self.lock())
             .finish()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: LockId,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_rwlock_round_trip() {
+        let m = Mutex::named(1u64, "test.m");
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+
+        let rw = RwLock::named(vec![1u64], "test.rw");
+        rw.write().push(2);
+        assert_eq!(rw.read().len(), 2);
+        assert_eq!(rw.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn defaults_and_debug() {
+        let m: Mutex<u64> = Mutex::default();
+        assert_eq!(*m.lock(), 0);
+        let rw: RwLock<u64> = RwLock::default();
+        assert!(format!("{rw:?}").contains("RwLock"));
+        assert!(format!("{m:?}").contains("Mutex"));
     }
 }

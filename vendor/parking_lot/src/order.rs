@@ -1,0 +1,218 @@
+//! The lock-order (acquisition-order) deadlock detector.
+//!
+//! Every lock registers an id (optionally a name). Each thread keeps a
+//! stack of held locks; acquiring lock `b` while holding `a` records the
+//! edge `a -> b` into a global graph, together with a *witness*: the
+//! acquiring thread's name and its held-lock stack at that moment. Before
+//! recording, the detector searches for a path `b ~> a` for every held
+//! `a` — such a path means some earlier acquisition chain took the locks
+//! in the opposite order, and the two orders can deadlock under the right
+//! interleaving. The acquiring thread panics immediately (before blocking
+//! on the lock), printing its own stack and the stored witness of every
+//! edge along the opposing path.
+//!
+//! The graph is append-only for the life of the process: ordering
+//! violations are detected even when the two acquisition chains never
+//! overlap in time, which is exactly what makes this useful in unit tests.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Process-unique lock identifier.
+pub type LockId = usize;
+
+/// How a lock is being (or was) acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `RwLock::read` — re-acquiring the same lock shared is permitted.
+    Shared,
+    /// `Mutex::lock` / `RwLock::write` — re-acquiring panics.
+    Exclusive,
+}
+
+/// The witness stored on an acquisition-order edge `a -> b`.
+#[derive(Debug, Clone)]
+struct Witness {
+    /// Name of the thread that recorded the edge.
+    thread: String,
+    /// Names of the locks it held (innermost last — `a` among them).
+    held: Vec<String>,
+    /// Name of the lock it was acquiring (`b`).
+    acquiring: String,
+}
+
+#[derive(Default)]
+struct State {
+    /// Lock id → display name.
+    names: HashMap<LockId, String>,
+    /// `a -> (b -> witness)`: `a` was held while `b` was acquired.
+    /// The first witness per edge is kept.
+    edges: HashMap<LockId, HashMap<LockId, Witness>>,
+}
+
+fn state() -> &'static StdMutex<State> {
+    static STATE: OnceLock<StdMutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| StdMutex::new(State::default()))
+}
+
+thread_local! {
+    /// Locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<(LockId, Kind)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Registers a lock, returning its id. Called from lock constructors.
+pub fn register(name: Option<&'static str>) -> LockId {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    if let Some(name) = name {
+        let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+        st.names.insert(id, name.to_string());
+    }
+    id
+}
+
+fn display_name(st: &State, id: LockId) -> String {
+    st.names
+        .get(&id)
+        .cloned()
+        .unwrap_or_else(|| format!("lock#{id}"))
+}
+
+fn current_thread_name() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", t.id()),
+    }
+}
+
+/// Depth of this thread's held-lock stack (test hook).
+pub fn held_depth() -> usize {
+    HELD.with(|h| h.borrow().len())
+}
+
+/// Searches `st.edges` for a path `from ~> to`; returns the edge list.
+fn find_path(st: &State, from: LockId, to: LockId) -> Option<Vec<(LockId, LockId)>> {
+    let mut stack = vec![from];
+    let mut parent: HashMap<LockId, LockId> = HashMap::new();
+    let mut seen = vec![from];
+    while let Some(node) = stack.pop() {
+        let Some(out) = st.edges.get(&node) else {
+            continue;
+        };
+        // Deterministic expansion order for reproducible panic messages.
+        let mut nexts: Vec<LockId> = out.keys().copied().collect();
+        nexts.sort_unstable();
+        for next in nexts {
+            if seen.contains(&next) {
+                continue;
+            }
+            parent.insert(next, node);
+            if next == to {
+                let mut path = vec![(node, next)];
+                let mut cur = node;
+                while cur != from {
+                    let p = parent[&cur];
+                    path.push((p, cur));
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            seen.push(next);
+            stack.push(next);
+        }
+    }
+    None
+}
+
+/// Called before blocking on a lock acquisition. Panics on recursive
+/// exclusive acquisition and on acquisition-order inversion.
+pub fn on_acquire(id: LockId, kind: Kind) {
+    let held: Vec<(LockId, Kind)> = HELD.with(|h| h.borrow().clone());
+
+    if let Some(&(_, held_kind)) = held.iter().find(|&&(h, _)| h == id) {
+        if kind == Kind::Exclusive || held_kind == Kind::Exclusive {
+            let st = state().lock().unwrap_or_else(|e| e.into_inner());
+            panic!(
+                "recursive {} acquisition of `{}` on thread `{}` would deadlock",
+                if kind == Kind::Exclusive {
+                    "exclusive"
+                } else {
+                    "shared-after-exclusive"
+                },
+                display_name(&st, id),
+                current_thread_name()
+            );
+        }
+        // Shared re-acquisition (read-under-read): permitted; it cannot
+        // introduce a new ordering edge either, so skip the graph work.
+        HELD.with(|h| h.borrow_mut().push((id, kind)));
+        return;
+    }
+
+    if !held.is_empty() {
+        let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+        // An inversion exists if the graph already orders `id` before any
+        // held lock: check *then* record, atomically under the state lock,
+        // so the offending thread panics instead of blocking.
+        for &(h, _) in &held {
+            if let Some(path) = find_path(&st, id, h) {
+                let acquiring = display_name(&st, id);
+                let held_names: Vec<String> =
+                    held.iter().map(|&(l, _)| display_name(&st, l)).collect();
+                let mut msg = format!(
+                    "lock-order inversion detected: thread `{}` is acquiring `{}` while \
+                     holding [{}], but the acquisition-order graph already orders `{}` \
+                     before `{}`:\n",
+                    current_thread_name(),
+                    acquiring,
+                    held_names.join(", "),
+                    acquiring,
+                    display_name(&st, h),
+                );
+                for (a, b) in &path {
+                    let w = &st.edges[a][b];
+                    msg.push_str(&format!(
+                        "  edge `{}` -> `{}`: thread `{}` acquired `{}` while holding [{}]\n",
+                        display_name(&st, *a),
+                        display_name(&st, *b),
+                        w.thread,
+                        w.acquiring,
+                        w.held.join(", "),
+                    ));
+                }
+                msg.push_str("both orders cannot be correct; fix the acquisition order");
+                panic!("{msg}");
+            }
+        }
+        let witness = Witness {
+            thread: current_thread_name(),
+            held: held.iter().map(|&(l, _)| display_name(&st, l)).collect(),
+            acquiring: display_name(&st, id),
+        };
+        for &(h, _) in &held {
+            st.edges
+                .entry(h)
+                .or_default()
+                .entry(id)
+                .or_insert_with(|| witness.clone());
+        }
+    }
+
+    HELD.with(|h| h.borrow_mut().push((id, kind)));
+}
+
+/// Called from guard `Drop` impls: removes the most recent hold of `id`.
+/// Runs during panic unwinding too, keeping the stack consistent after a
+/// detected inversion.
+pub fn on_release(id: LockId) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(l, _)| l == id) {
+            held.remove(pos);
+        }
+    });
+}

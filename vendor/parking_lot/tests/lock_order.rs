@@ -1,0 +1,152 @@
+//! Unit tests for the lock-order detector. They only exist with the
+//! feature on (`cargo test -p parking_lot --features lock-order`); without
+//! it the instrumentation compiles away and there is nothing to test.
+#![cfg(feature = "lock-order")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parking_lot::{order, Mutex, RwLock};
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    match err.downcast::<String>() {
+        Ok(s) => *s,
+        Err(err) => match err.downcast::<&'static str>() {
+            Ok(s) => s.to_string(),
+            Err(_) => String::from("<non-string panic payload>"),
+        },
+    }
+}
+
+#[test]
+fn opposite_orders_panic_with_both_witness_stacks() {
+    let a = Mutex::named(0u64, "witness.a");
+    let b = Mutex::named(0u64, "witness.b");
+
+    // Legal chain records the edge witness.a -> witness.b.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    assert_eq!(order::held_depth(), 0);
+
+    // The opposite order must panic before blocking — even though the two
+    // chains never overlap in time.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("inversion must be detected");
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order inversion"), "{msg}");
+    // Current thread's witness: acquiring a while holding b.
+    assert!(
+        msg.contains("acquiring `witness.a` while holding [witness.b]"),
+        "{msg}"
+    );
+    // Stored witness of the prior, opposite-order chain.
+    assert!(
+        msg.contains("acquired `witness.b` while holding [witness.a]"),
+        "{msg}"
+    );
+    // The unwind released everything the closure held.
+    assert_eq!(order::held_depth(), 0);
+}
+
+#[test]
+fn nested_same_order_acquisition_is_not_flagged() {
+    let outer = Mutex::named(0u64, "nested.outer");
+    let inner = RwLock::named(0u64, "nested.inner");
+    // The same order, any number of times, from any mix of guards, is fine.
+    for _ in 0..16 {
+        let _g1 = outer.lock();
+        let _g2 = inner.write();
+    }
+    {
+        let _g1 = outer.lock();
+        let _g2 = inner.read();
+    }
+    assert_eq!(order::held_depth(), 0);
+}
+
+#[test]
+fn read_under_write_is_caught_as_recursive_deadlock() {
+    // `read()` while holding `write()` of the same lock self-deadlocks on
+    // the underlying primitive; the detector must panic instead of hang.
+    let rw = RwLock::named(0u64, "rw.read_under_write");
+    let g = rw.write();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _r = rw.read();
+    }))
+    .expect_err("read-under-write must be detected");
+    let msg = panic_message(err);
+    assert!(msg.contains("shared-after-exclusive"), "{msg}");
+    drop(g);
+    assert_eq!(order::held_depth(), 0);
+}
+
+#[test]
+fn transitive_inversion_is_detected_through_the_graph() {
+    let a = Mutex::named(0u64, "chain.a");
+    let b = Mutex::named(0u64, "chain.b");
+    let c = Mutex::named(0u64, "chain.c");
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    // c -> a closes the cycle a -> b -> c.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _gc = c.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("transitive inversion must be detected");
+    let msg = panic_message(err);
+    assert!(msg.contains("chain.a"), "{msg}");
+    assert!(msg.contains("edge `chain.a` -> `chain.b`"), "{msg}");
+    assert!(msg.contains("edge `chain.b` -> `chain.c`"), "{msg}");
+}
+
+#[test]
+fn recursive_exclusive_acquisition_panics_and_read_recursion_does_not() {
+    let rw = RwLock::named(0u64, "recursive.rw");
+    {
+        // Shared re-acquisition is permitted (parking_lot allows it).
+        let _r1 = rw.read();
+        let _r2 = rw.read();
+        assert_eq!(order::held_depth(), 2);
+    }
+    assert_eq!(order::held_depth(), 0);
+
+    let m = Mutex::named(0u64, "recursive.m");
+    let g = m.lock();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _again = m.lock();
+    }))
+    .expect_err("recursive lock must panic, not deadlock");
+    let msg = panic_message(err);
+    assert!(msg.contains("recursive exclusive acquisition"), "{msg}");
+    assert!(msg.contains("recursive.m"), "{msg}");
+    drop(g);
+    assert_eq!(order::held_depth(), 0);
+}
+
+#[test]
+fn held_stack_survives_panic_unwind_mid_chain() {
+    let a = Mutex::named(0u64, "unwind.a");
+    let b = Mutex::named(0u64, "unwind.b");
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _ga = a.lock();
+        let _gb = b.lock();
+        panic!("application panic while holding two locks");
+    }))
+    .expect_err("the closure panics");
+    let _ = err;
+    // Guard drops during unwinding popped both holds; the locks are
+    // reusable (non-poisoning) and the stack is empty.
+    assert_eq!(order::held_depth(), 0);
+    let _ga = a.lock();
+    let _gb = b.lock();
+}

@@ -8,6 +8,8 @@
 //! failing case index is reported, and since sampling is deterministic per
 //! test name, re-running the test replays the identical sequence.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 use rand::rngs::StdRng;

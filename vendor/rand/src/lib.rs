@@ -4,6 +4,8 @@
 //! crate — the workspace only requires determinism and statistical quality,
 //! not bit-compatibility with crates.io `rand`).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core random number generation.

@@ -10,6 +10,8 @@
 //! sibling `serde_json` stand-in. That is sufficient because the only data
 //! format the workspace uses is JSON.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 mod impls;

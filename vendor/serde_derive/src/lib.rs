@@ -14,6 +14,8 @@
 //!
 //! Generics are not supported and produce a compile error.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// One named field: identifier plus the serde attrs we honor.

@@ -4,6 +4,8 @@
 //! text layer: `to_vec` / `to_string` / `to_string_pretty`, `from_slice` /
 //! `from_str`, and the `json!` macro.
 
+#![forbid(unsafe_code)]
+
 pub use serde::json::{Error, Map, Number, Value};
 
 mod parse;
