@@ -3,7 +3,8 @@
 #![forbid(unsafe_code)]
 
 use flstore_bench::{
-    breakdown, headline, inventory, jobs, motivation, policies, robustness, tenancy, Scale,
+    breakdown, headline, inventory, jobs, motivation, netserve, policies, robustness, tenancy,
+    Scale,
 };
 
 type Experiment = fn(Scale) -> serde_json::Value;
@@ -30,6 +31,7 @@ const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
     ("tenancy", tenancy::tenancy, "tenancy"),
     ("capacity", inventory::capacity, "capacity"),
     ("overhead", inventory::overhead, "overhead"),
+    ("netserve", netserve::netserve, "netserve"),
 ];
 
 /// Criterion bench targets (`cargo bench --bench <name>`), one per hot

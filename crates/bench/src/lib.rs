@@ -28,6 +28,7 @@ pub mod headline;
 pub mod inventory;
 pub mod jobs;
 pub mod motivation;
+pub mod netserve;
 pub mod policies;
 pub mod robustness;
 pub mod tenancy;

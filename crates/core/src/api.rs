@@ -61,7 +61,7 @@ use flstore_fl::metadata::MetaKey;
 use flstore_serverless::platform::PlatformError;
 use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::{Cost, CostBreakdown};
-use flstore_sim::time::SimTime;
+use flstore_sim::time::{SimDuration, SimTime};
 use flstore_workloads::request::{RequestId, WorkloadRequest};
 use flstore_workloads::run::WorkloadError;
 use flstore_workloads::service::ServiceLedger;
@@ -182,6 +182,25 @@ pub enum ApiError {
     Workload(WorkloadError),
     /// Serverless platform failure.
     Platform(PlatformError),
+    /// The serving plane is saturated and refused the envelope *before*
+    /// admission: nothing was executed, and retrying after the hint is
+    /// safe. This is how backpressure surfaces at the network front door
+    /// (`flstore-net`) — a typed envelope instead of a dropped frame or a
+    /// connection reset.
+    ///
+    /// ```
+    /// use flstore_core::api::ApiError;
+    /// use flstore_sim::time::SimDuration;
+    ///
+    /// let err = ApiError::Overloaded { retry_after_hint: SimDuration::from_millis(5) };
+    /// assert_eq!(err.to_string(), "overloaded: retry after 5000us");
+    /// ```
+    Overloaded {
+        /// How long the client should wait before retrying. A hint, not a
+        /// contract: servers pick a fixed configured value so rejection
+        /// envelopes stay byte-deterministic under load.
+        retry_after_hint: SimDuration,
+    },
 }
 
 impl fmt::Display for ApiError {
@@ -206,6 +225,13 @@ impl fmt::Display for ApiError {
             ApiError::Store(e) => write!(f, "persistent store: {e}"),
             ApiError::Workload(e) => write!(f, "workload: {e}"),
             ApiError::Platform(e) => write!(f, "platform: {e}"),
+            ApiError::Overloaded { retry_after_hint } => {
+                write!(
+                    f,
+                    "overloaded: retry after {}us",
+                    retry_after_hint.as_micros()
+                )
+            }
         }
     }
 }
@@ -215,7 +241,8 @@ impl Error for ApiError {
         match self {
             ApiError::UnknownJob { .. }
             | ApiError::QuotaExceeded { .. }
-            | ApiError::NoData { .. } => None,
+            | ApiError::NoData { .. }
+            | ApiError::Overloaded { .. } => None,
             ApiError::Store(e) => Some(e),
             ApiError::Workload(e) => Some(e),
             ApiError::Platform(e) => Some(e),

@@ -1,0 +1,132 @@
+//! The standalone FLStore load generator.
+//!
+//! ```sh
+//! # Closed loop: one pipelined connection, 32-deep window.
+//! flstore-loadgen --addr 127.0.0.1:4600 --mode closed --requests 200 --window 32
+//!
+//! # Open-loop burst over 8 connections, writing the report to a file:
+//! flstore-loadgen --addr 127.0.0.1:4600 --mode burst --connections 8 \
+//!     --requests 400 --out results/loadgen.json
+//! ```
+//!
+//! The schedule replays the same synthetic trace
+//! ([`flstore_trace::driver::materialize_schedule`] over
+//! `TraceConfig`) that the in-process experiment driver serves, so a
+//! networked run produces the same envelope sequence as a library run.
+//! The JSON report separates deterministic payload facts from
+//! `_wall`-suffixed wall-clock fields (see the `flstore-loadgen` crate
+//! docs); `--expect-overload` / `--expect-clean` turn the report into a
+//! pass/fail smoke gate for CI.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+
+use flstore_fl::ids::JobId;
+use flstore_fl::job::FlJobConfig;
+use flstore_loadgen::{probe_connection_limit, run_closed, run_open_burst, LoadReport};
+use flstore_trace::driver::{materialize_schedule, TraceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flstore-loadgen --addr HOST:PORT [--mode closed|burst|probe] \
+         [--requests N] [--seed N] [--window N] [--connections N] \
+         [--out FILE] [--expect-overload] [--expect-clean]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut mode = String::from("closed");
+    let mut requests = 40usize;
+    let mut seed = 7u64;
+    let mut window = 16usize;
+    let mut connections = 4usize;
+    let mut out: Option<String> = None;
+    let mut expect_overload = false;
+    let mut expect_clean = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse::<String>(&mut iter, "--addr")),
+            "--mode" => mode = parse(&mut iter, "--mode"),
+            "--requests" => requests = parse(&mut iter, "--requests"),
+            "--seed" => seed = parse(&mut iter, "--seed"),
+            "--window" => window = parse(&mut iter, "--window"),
+            "--connections" => connections = parse(&mut iter, "--connections"),
+            "--out" => out = Some(parse::<String>(&mut iter, "--out")),
+            "--expect-overload" => expect_overload = true,
+            "--expect-clean" => expect_clean = true,
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    // The same job config the `flstore-net serve` default deployment
+    // hosts, so requests address records the server actually ingests.
+    let job_cfg = FlJobConfig::quick_test(JobId::new(1));
+    let mut trace = TraceConfig::smoke(seed);
+    trace.requests = requests;
+    let schedule = materialize_schedule(&job_cfg, &trace);
+
+    let report: LoadReport = match mode.as_str() {
+        "closed" => run_closed(&addr, &schedule, window).unwrap_or_else(|e| {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }),
+        "burst" => run_open_burst(&addr, &schedule, connections),
+        "probe" => {
+            let (served, overloaded, errors) = probe_connection_limit(&addr, connections);
+            println!("probe: {served} served, {overloaded} overloaded, {errors} transport errors");
+            if errors > 0 || (expect_overload && overloaded == 0) {
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => usage(),
+    };
+
+    let json = report.to_json();
+    let rendered = serde_json::to_string_pretty(&json).expect("report serializes");
+    match &out {
+        Some(path) => {
+            let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("create {path}: {e}");
+                std::process::exit(1);
+            });
+            writeln!(file, "{rendered}").expect("write report");
+        }
+        None => println!("{rendered}"),
+    }
+    eprintln!(
+        "{} sent, {} ok, {} overloaded, {} rejected, {} transport errors",
+        report.sent, report.ok, report.overloaded, report.rejected, report.transport_errors
+    );
+
+    // Smoke gates: under overload we demand typed rejections and a clean
+    // transport; unloaded we demand every envelope served.
+    if report.transport_errors > 0 {
+        eprintln!("FAIL: transport errors (resets/truncation) observed");
+        std::process::exit(1);
+    }
+    if expect_overload && report.overloaded == 0 {
+        eprintln!("FAIL: expected typed Overloaded rejections, saw none");
+        std::process::exit(1);
+    }
+    if expect_clean && report.ok != report.sent {
+        eprintln!(
+            "FAIL: expected every request served, got {}/{}",
+            report.ok, report.sent
+        );
+        std::process::exit(1);
+    }
+}

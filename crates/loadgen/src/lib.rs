@@ -1,0 +1,362 @@
+//! # flstore-loadgen — socket-level load generation
+//!
+//! Drives a [`flstore-net`](flstore_net) front door over real TCP
+//! connections and reports latency percentiles (p50/p95/p99) and goodput
+//! — including under deliberate overload, where the server answers with
+//! typed [`Overloaded`](flstore_core::api::ApiError::Overloaded)
+//! envelopes instead of dropping frames or resetting connections.
+//!
+//! Two drivers:
+//!
+//! * **closed loop** ([`run_closed`]) — one pipelined connection keeps at
+//!   most `window` requests in flight; a response must arrive before the
+//!   next request past the window is sent. Measures the server's
+//!   unloaded/offered-load latency.
+//! * **open loop** ([`run_open_burst`]) — `connections` parallel
+//!   connections blast their share of the schedule without waiting for
+//!   responses, the arrival process a saturated front door sees. Under
+//!   overload the interesting outputs are goodput and the typed
+//!   rejection count; the reset count must stay zero.
+//!
+//! Request schedules come from
+//! [`flstore_trace::driver::materialize_schedule`] — the same traces the
+//! in-process experiment driver serves — so a networked run replays the
+//! same envelope sequence as a library-call run.
+//!
+//! ## Determinism contract
+//!
+//! [`LoadReport::to_json`] separates deterministic payload facts (sent /
+//! ok counts, the FNV-1a checksum over response payload bytes) from
+//! wall-clock measurements, which carry a `_wall` name suffix.
+//! `scripts/compare_results.sh` normalizes exactly the `_wall` fields,
+//! so CI byte-diffs the rest across runs and thread counts.
+//!
+//! This crate is the sanctioned home of real wall-clock reads on the
+//! serving path (latency must be measured, not simulated); see
+//! `analyze-allowlist.txt`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use flstore_core::api::{ApiError, Request, Response};
+use flstore_net::client::NetClient;
+use flstore_net::codec::encode_response;
+use flstore_net::wire::WireError;
+use flstore_sim::time::SimTime;
+use serde_json::{json, Value};
+
+/// Latency percentiles over one run, in microseconds of wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Mean.
+    pub mean_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Computes percentiles from raw samples (empty input returns None).
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pick = |q: f64| {
+            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+            samples[idx]
+        };
+        Some(LatencyStats {
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
+            max_us: samples[samples.len() - 1],
+        })
+    }
+}
+
+/// What one driver run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests written to the socket(s).
+    pub sent: usize,
+    /// Non-rejected responses (served / ingested / evicted / stats).
+    pub ok: usize,
+    /// Typed `Overloaded` rejections (backpressure; retryable).
+    pub overloaded: usize,
+    /// Other typed rejections (admission errors etc.).
+    pub rejected: usize,
+    /// Responses the transport lost: connection resets, truncated
+    /// streams, decode failures. The front door's contract is that this
+    /// stays zero even under overload.
+    pub transport_errors: usize,
+    /// FNV-1a checksum over every response frame's tag and payload
+    /// bytes, in per-connection submission order (connections XOR-folded
+    /// so multi-connection runs stay order-independent across threads).
+    pub checksum: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_wall_s: f64,
+    /// Non-rejected responses per wall second.
+    pub goodput_rps_wall: f64,
+    /// Send-to-receive wall latency percentiles.
+    pub latency: Option<LatencyStats>,
+}
+
+impl LoadReport {
+    /// JSON form. Deterministic fields keep plain names; every
+    /// wall-clock-dependent field ends in `_wall`, the suffix
+    /// `scripts/compare_results.sh` normalizes before byte-diffing.
+    pub fn to_json(&self) -> Value {
+        let lat = |f: fn(&LatencyStats) -> f64| self.latency.as_ref().map(f).unwrap_or(0.0);
+        json!({
+            "sent": self.sent,
+            "ok": self.ok,
+            "overloaded_wall": self.overloaded,
+            "rejected": self.rejected,
+            "transport_errors": self.transport_errors,
+            "checksum": format!("{:016x}", self.checksum),
+            "elapsed_s_wall": self.elapsed_wall_s,
+            "goodput_rps_wall": self.goodput_rps_wall,
+            "p50_us_wall": lat(|l| l.p50_us),
+            "p95_us_wall": lat(|l| l.p95_us),
+            "p99_us_wall": lat(|l| l.p99_us),
+            "mean_us_wall": lat(|l| l.mean_us),
+            "max_us_wall": lat(|l| l.max_us),
+        })
+    }
+}
+
+/// FNV-1a, folding a response frame's canonical encoding into `hash`.
+fn fold_response(mut hash: u64, response: &Response) -> u64 {
+    let (tag, payload) = encode_response(response);
+    for byte in std::iter::once(tag).chain(payload) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn classify(response: &Response, report: &mut LoadReport) {
+    match response {
+        Response::Rejected(ApiError::Overloaded { .. }) => report.overloaded += 1,
+        Response::Rejected(_) => report.rejected += 1,
+        _ => report.ok += 1,
+    }
+}
+
+fn empty_report() -> LoadReport {
+    LoadReport {
+        sent: 0,
+        ok: 0,
+        overloaded: 0,
+        rejected: 0,
+        transport_errors: 0,
+        checksum: FNV_OFFSET,
+        elapsed_wall_s: 0.0,
+        goodput_rps_wall: 0.0,
+        latency: None,
+    }
+}
+
+/// Closed-loop driver: one connection, at most `window` requests in
+/// flight. Returns a transport error only if the *connection itself*
+/// cannot be established; per-response transport failures are counted
+/// in the report.
+pub fn run_closed(
+    addr: &str,
+    schedule: &[(SimTime, Request)],
+    window: usize,
+) -> Result<LoadReport, WireError> {
+    let window = window.max(1);
+    let mut client = NetClient::connect(addr)?;
+    let mut report = empty_report();
+    let mut send_times: Vec<Instant> = Vec::with_capacity(schedule.len());
+    let mut latencies: Vec<f64> = Vec::with_capacity(schedule.len());
+    let mut received = 0usize;
+
+    // Wall-clock reads are this crate's purpose (see crate docs and
+    // analyze-allowlist.txt).
+    #[allow(clippy::disallowed_methods)]
+    let started = Instant::now();
+    for (now, request) in schedule {
+        if report.sent - received >= window {
+            match client.recv() {
+                Ok(response) => {
+                    #[allow(clippy::disallowed_methods)]
+                    let at = Instant::now();
+                    latencies.push(at.duration_since(send_times[received]).as_secs_f64() * 1e6);
+                    report.checksum = fold_response(report.checksum, &response);
+                    classify(&response, &mut report);
+                    received += 1;
+                }
+                Err(_) => {
+                    report.transport_errors += 1;
+                    break;
+                }
+            }
+        }
+        #[allow(clippy::disallowed_methods)]
+        send_times.push(Instant::now());
+        client.send(*now, request)?;
+        report.sent += 1;
+    }
+    while received < report.sent {
+        match client.recv() {
+            Ok(response) => {
+                #[allow(clippy::disallowed_methods)]
+                let at = Instant::now();
+                latencies.push(at.duration_since(send_times[received]).as_secs_f64() * 1e6);
+                report.checksum = fold_response(report.checksum, &response);
+                classify(&response, &mut report);
+                received += 1;
+            }
+            Err(_) => {
+                report.transport_errors += report.sent - received;
+                break;
+            }
+        }
+    }
+    finish(&mut report, latencies, started);
+    Ok(report)
+}
+
+/// Open-loop burst driver: `connections` threads each write their slice
+/// of the schedule as fast as the socket accepts it (no response
+/// pacing), then drain responses. The per-connection checksums are
+/// XOR-folded so the aggregate is independent of thread interleaving.
+pub fn run_open_burst(
+    addr: &str,
+    schedule: &[(SimTime, Request)],
+    connections: usize,
+) -> LoadReport {
+    let connections = connections.max(1);
+    let slices: Vec<Vec<(SimTime, Request)>> = (0..connections)
+        .map(|c| {
+            schedule
+                .iter()
+                .skip(c)
+                .step_by(connections)
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    #[allow(clippy::disallowed_methods)]
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for slice in slices {
+        let addr = addr.to_string();
+        workers.push(std::thread::spawn(move || run_burst_conn(&addr, &slice)));
+    }
+    let mut report = empty_report();
+    let mut checksum = 0u64;
+    let mut latencies = Vec::new();
+    for worker in workers {
+        match worker.join() {
+            Ok((part, lats)) => {
+                report.sent += part.sent;
+                report.ok += part.ok;
+                report.overloaded += part.overloaded;
+                report.rejected += part.rejected;
+                report.transport_errors += part.transport_errors;
+                checksum ^= part.checksum;
+                latencies.extend(lats);
+            }
+            Err(_) => report.transport_errors += 1,
+        }
+    }
+    report.checksum = checksum;
+    finish(&mut report, latencies, started);
+    report
+}
+
+fn run_burst_conn(addr: &str, slice: &[(SimTime, Request)]) -> (LoadReport, Vec<f64>) {
+    let mut report = empty_report();
+    let mut latencies = Vec::with_capacity(slice.len());
+    let Ok(mut client) = NetClient::connect(addr) else {
+        report.transport_errors += slice.len();
+        return (report, latencies);
+    };
+    let mut send_times = Vec::with_capacity(slice.len());
+    for (now, request) in slice {
+        #[allow(clippy::disallowed_methods)]
+        send_times.push(Instant::now());
+        if client.send(*now, request).is_err() {
+            report.transport_errors += 1;
+            return (report, latencies);
+        }
+        report.sent += 1;
+    }
+    if client.finish_sending().is_err() {
+        report.transport_errors += 1;
+        return (report, latencies);
+    }
+    for (received, sent_at) in send_times.iter().enumerate().take(report.sent) {
+        match client.recv() {
+            Ok(response) => {
+                #[allow(clippy::disallowed_methods)]
+                let at = Instant::now();
+                latencies.push(at.duration_since(*sent_at).as_secs_f64() * 1e6);
+                report.checksum = fold_response(report.checksum, &response);
+                classify(&response, &mut report);
+            }
+            Err(_) => {
+                report.transport_errors += report.sent - received;
+                break;
+            }
+        }
+    }
+    (report, latencies)
+}
+
+/// Connection-limit probe: opens `attempts` simultaneous idle
+/// connections and sends a `Stats` request on each; returns
+/// `(served, overloaded, transport_errors)`. Against a server with
+/// `max_connections < attempts`, the excess connections must receive a
+/// typed `Overloaded` envelope and a clean close — never a reset.
+pub fn probe_connection_limit(addr: &str, attempts: usize) -> (usize, usize, usize) {
+    let mut clients = Vec::new();
+    let mut overloaded = 0usize;
+    let mut errors = 0usize;
+    for _ in 0..attempts {
+        match NetClient::connect(addr) {
+            Ok(c) => clients.push(c),
+            Err(_) => errors += 1,
+        }
+    }
+    let mut served = 0usize;
+    for client in &mut clients {
+        if client.send(SimTime::ZERO, &Request::Stats).is_err() {
+            // The server half-closed an over-limit connection; its
+            // Overloaded envelope is still readable below.
+        }
+        match client.recv() {
+            Ok(Response::Stats(_)) => served += 1,
+            Ok(Response::Rejected(ApiError::Overloaded { .. })) => overloaded += 1,
+            Ok(_) => {}
+            Err(_) => errors += 1,
+        }
+    }
+    (served, overloaded, errors)
+}
+
+fn finish(report: &mut LoadReport, latencies: Vec<f64>, started: Instant) {
+    report.elapsed_wall_s = started.elapsed().as_secs_f64();
+    report.goodput_rps_wall = if report.elapsed_wall_s > 0.0 {
+        report.ok as f64 / report.elapsed_wall_s
+    } else {
+        0.0
+    };
+    report.latency = LatencyStats::from_samples(latencies);
+}

@@ -1,0 +1,115 @@
+//! The standalone FLStore network server.
+//!
+//! ```sh
+//! # Print the frame inventory (consumed by scripts/check_wire_doc.sh):
+//! flstore-net --list-frames
+//!
+//! # Serve a multi-job FLStore deployment:
+//! flstore-net serve --addr 127.0.0.1:0 --jobs 4 --threads 4
+//! ```
+//!
+//! `serve` prints `listening on <addr>` on stdout once bound (scripts
+//! parse this line to discover the ephemeral port) and runs until the
+//! process is killed.
+
+#![forbid(unsafe_code)]
+
+use flstore_core::api::Service;
+use flstore_core::policy::TailoredPolicy;
+use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_exec::ShardedExecutor;
+use flstore_fl::ids::JobId;
+use flstore_fl::job::FlJobConfig;
+use flstore_net::server::{NetServer, ServerConfig};
+use flstore_net::wire::FRAMES;
+use flstore_sim::time::SimDuration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flstore-net --list-frames\n       flstore-net serve [--addr HOST:PORT] \
+         [--jobs N] [--threads N] [--max-conns N] [--max-inflight N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-frames") {
+        // Machine-readable frame inventory, tab-separated: tag byte,
+        // name, direction, summary. docs/WIRE.md's tag table is diffed
+        // against this output in CI.
+        for (tag, name, direction, summary) in FRAMES {
+            println!("0x{tag:02x}\t{name}\t{direction}\t{summary}");
+        }
+        return;
+    }
+    if args.first().map(String::as_str) != Some("serve") {
+        usage();
+    }
+
+    let mut addr = String::from("127.0.0.1:0");
+    let mut jobs = 1u32;
+    let mut threads = 1usize;
+    let mut config = ServerConfig::default();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&mut iter, "--addr"),
+            "--jobs" => jobs = parse(&mut iter, "--jobs"),
+            "--threads" => threads = parse(&mut iter, "--threads"),
+            "--max-conns" => config.max_connections = parse(&mut iter, "--max-conns"),
+            "--max-inflight" => config.max_inflight = parse(&mut iter, "--max-inflight"),
+            "--retry-after-us" => {
+                config.retry_after_hint =
+                    SimDuration::from_micros(parse(&mut iter, "--retry-after-us"))
+            }
+            _ => usage(),
+        }
+    }
+
+    let units: Vec<FlStore> = (1..=jobs.max(1))
+        .map(|j| {
+            let cfg = FlJobConfig::quick_test(JobId::new(j));
+            FlStore::new(
+                FlStoreConfig::for_model(&cfg.model),
+                Box::new(TailoredPolicy::new()),
+                cfg.job,
+                cfg.model,
+            )
+        })
+        .collect();
+    let service: Box<dyn Service + Send> = if threads > 1 {
+        Box::new(ShardedExecutor::new(units, threads))
+    } else {
+        // A single shard still routes multi-job traffic correctly; with
+        // one job, serve the store directly.
+        let mut units = units;
+        if units.len() == 1 {
+            Box::new(units.pop().expect("one unit"))
+        } else {
+            Box::new(ShardedExecutor::new(units, 1))
+        }
+    };
+
+    let server = NetServer::bind_to(addr.as_str(), service, config).unwrap_or_else(|e| {
+        eprintln!("bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("listening on {}", server.local_addr());
+    println!(
+        "{} job(s), {} worker thread(s); kill the process to stop",
+        jobs.max(1),
+        threads.max(1)
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,86 @@
+//! A blocking, pipelining client for the wire protocol.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use flstore_core::api::{Request, Response};
+use flstore_sim::time::SimTime;
+
+use crate::codec::{decode_response, encode_request};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// A connection to a [`NetServer`](crate::server::NetServer).
+///
+/// Requests pipeline: any number of [`NetClient::send`]s may be in
+/// flight before the matching [`NetClient::recv`]s — the server
+/// guarantees responses come back in submission order, so the `n`-th
+/// `recv` always answers the `n`-th `send`.
+///
+/// ```no_run
+/// use flstore_core::api::{Request, Response};
+/// use flstore_net::client::NetClient;
+/// use flstore_sim::time::SimTime;
+///
+/// let mut client = NetClient::connect("127.0.0.1:7450")?;
+/// let response = client.call(SimTime::ZERO, &Request::Stats)?;
+/// assert!(matches!(response, Response::Stats(_)));
+/// # Ok::<(), flstore_net::wire::WireError>(())
+/// ```
+pub struct NetClient {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl NetClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, WireError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        stream.set_nodelay(true).map_err(WireError::from)?;
+        let read_half = stream.try_clone().map_err(WireError::from)?;
+        Ok(NetClient {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(read_half),
+        })
+    }
+
+    /// Writes one request frame stamped at `now` without waiting for the
+    /// response (pipelining). Call [`NetClient::flush`] (or `recv`, which
+    /// flushes first) once a burst is queued.
+    pub fn send(&mut self, now: SimTime, request: &Request) -> Result<(), WireError> {
+        let (tag, payload) = encode_request(now, request);
+        write_frame(&mut self.writer, tag, &payload).map_err(WireError::from)
+    }
+
+    /// Flushes buffered request frames to the socket.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.writer.flush().map_err(WireError::from)
+    }
+
+    /// Reads the next response frame (flushing queued requests first).
+    /// Returns [`WireError::Truncated`] if the server closed the
+    /// connection before a full response arrived — callers that
+    /// pipeline know how many responses they are still owed.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        self.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some((tag, payload)) => decode_response(tag, &payload),
+            None => Err(WireError::Truncated),
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&mut self, now: SimTime, request: &Request) -> Result<Response, WireError> {
+        self.send(now, request)?;
+        self.recv()
+    }
+
+    /// Half-closes the write side, telling the server no more requests
+    /// are coming; pipelined responses can still be received.
+    pub fn finish_sending(&mut self) -> Result<(), WireError> {
+        self.flush()?;
+        self.writer
+            .get_ref()
+            .shutdown(Shutdown::Write)
+            .map_err(WireError::from)
+    }
+}

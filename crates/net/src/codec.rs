@@ -1,0 +1,1005 @@
+//! Payload codec: the binary encoding of [`Request`] and [`Response`]
+//! envelopes, field for field.
+//!
+//! The encoding is hand-rolled and canonical — the same envelope always
+//! produces the same bytes, so encode→decode→encode is byte-exact
+//! (property-tested in `tests/roundtrip.rs`) and the figures harness can
+//! checksum response payloads under the byte-diff determinism gate.
+//!
+//! Primitives (normative spec: `docs/WIRE.md`):
+//!
+//! * integers and lengths — unsigned LEB128 varints;
+//! * `f64`/`f32` — IEEE-754 bits, little endian (bit-exact, no
+//!   formatting round-trip);
+//! * `bool` — one byte, `0` or `1` (anything else is malformed);
+//! * `Option<T>` — one presence byte (`0`/`1`) then `T`;
+//! * `String` / `Vec<T>` — varint count then elements;
+//! * enums — one tag byte in declaration order.
+//!
+//! Decoding is *validating*: every invariant the in-process types
+//! enforce by construction (finite non-negative costs and work, P3
+//! requests carrying a target client, known enum tags, UTF-8 labels) is
+//! checked here and surfaces as [`WireError::Malformed`] — a hostile
+//! peer cannot reach a panicking constructor.
+
+use std::sync::Arc;
+
+use flstore_cloud::blob::{ObjectKey, StoreError};
+use flstore_cloud::compute::WorkUnits;
+use flstore_core::api::{ApiError, Request, Response, StatsReport};
+use flstore_core::quota::{QuotaPolicy, QuotaUsage, TenantQuota};
+use flstore_core::store::{IngestReceipt, ServedRequest};
+use flstore_fl::aggregate::AggregateModel;
+use flstore_fl::hyperparams::HyperParams;
+use flstore_fl::ids::{ClientId, JobId, Round};
+use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::{MetaKey, MetaKind};
+use flstore_fl::metrics::{ClientRoundInfo, RoundMetrics};
+use flstore_fl::update::{ModelUpdate, UpdateMetrics};
+use flstore_fl::weights::WeightVector;
+use flstore_serverless::function::FunctionError;
+use flstore_serverless::function::FunctionId;
+use flstore_serverless::platform::PlatformError;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::cost::{Cost, CostBreakdown};
+use flstore_sim::latency::LatencyBreakdown;
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::outputs::{
+    ClusteringOutput, CosineOutput, DebuggingOutput, FilteringOutput, IncentivesOutput,
+    InferenceOutput, PersonalizationOutput, ReputationOutput, SchedClusterOutput, SchedPerfOutput,
+    WorkloadOutput,
+};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::run::{WorkloadError, WorkloadOutcome};
+use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
+
+use crate::wire::{
+    put_varint, Reader, WireError, TAG_EVICT, TAG_EVICTED, TAG_INGEST, TAG_INGESTED, TAG_REJECTED,
+    TAG_SERVE, TAG_SERVED, TAG_STATS, TAG_STATS_REPORT,
+};
+
+/// The closed set of `WorkloadError::MissingInput` details. The wire
+/// carries the string; decode interns it through this table (the field is
+/// `&'static str` in-process). A detail string added in
+/// `flstore-workloads` without a row here fails decode as
+/// [`WireError::Malformed`] — loudly, in the round-trip tests.
+pub const MISSING_INPUT_WHATS: &[&str] = &[
+    "aggregated model",
+    "client updates across rounds",
+    "round aggregate",
+    "round metrics window",
+    "round updates",
+    "target client",
+];
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers
+// ---------------------------------------------------------------------------
+
+fn get_f64(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    let bytes = r.bytes(8)?;
+    Ok(f64::from_bits(u64::from_le_bytes(
+        bytes.try_into().expect("8 bytes"),
+    )))
+}
+
+fn get_f32(r: &mut Reader<'_>) -> Result<f32, WireError> {
+    let bytes = r.bytes(4)?;
+    Ok(f32::from_bits(u32::from_le_bytes(
+        bytes.try_into().expect("4 bytes"),
+    )))
+}
+
+fn get_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Malformed("bool byte must be 0 or 1")),
+    }
+}
+
+fn get_u32(r: &mut Reader<'_>) -> Result<u32, WireError> {
+    u32::try_from(r.varint()?).map_err(|_| WireError::Malformed("u32 field out of range"))
+}
+
+fn get_usize(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    usize::try_from(r.varint()?).map_err(|_| WireError::Malformed("usize field out of range"))
+}
+
+fn get_str(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let n = r.len_prefix()?;
+    let bytes = r.bytes(n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string is not UTF-8"))
+}
+
+/// A finite, non-negative `f64` — the invariant `Cost::from_dollars` and
+/// `WorkUnits::from_ref_seconds` assert. Checked *before* construction so
+/// a hostile payload gets a typed error, not a panic.
+fn get_nonneg_f64(r: &mut Reader<'_>, what: &'static str) -> Result<f64, WireError> {
+    let v = get_f64(r)?;
+    if v.is_finite() && v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(WireError::Malformed(what))
+    }
+}
+
+fn get_option<T>(
+    r: &mut Reader<'_>,
+    read: impl FnOnce(&mut Reader<'_>) -> Result<T, WireError>,
+) -> Result<Option<T>, WireError> {
+    if get_bool(r)? {
+        Ok(Some(read(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_option<T>(buf: &mut Vec<u8>, v: Option<&T>, write: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        Some(v) => {
+            put_bool(buf, true);
+            write(buf, v);
+        }
+        None => put_bool(buf, false),
+    }
+}
+
+fn get_vec<T>(
+    r: &mut Reader<'_>,
+    mut read: impl FnMut(&mut Reader<'_>) -> Result<T, WireError>,
+) -> Result<Vec<T>, WireError> {
+    let n = r.len_prefix()?;
+    // Capacity is clamped so a hostile count cannot balloon memory: reads
+    // hit `Truncated` long before a fake multi-million count fills in.
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(read(r)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Ids, time, sizes
+// ---------------------------------------------------------------------------
+
+fn put_job(buf: &mut Vec<u8>, job: JobId) {
+    put_varint(buf, u64::from(job.as_u32()));
+}
+
+fn get_job(r: &mut Reader<'_>) -> Result<JobId, WireError> {
+    Ok(JobId::new(get_u32(r)?))
+}
+
+fn put_client(buf: &mut Vec<u8>, client: ClientId) {
+    put_varint(buf, u64::from(client.as_u32()));
+}
+
+fn get_client(r: &mut Reader<'_>) -> Result<ClientId, WireError> {
+    Ok(ClientId::new(get_u32(r)?))
+}
+
+fn put_round(buf: &mut Vec<u8>, round: Round) {
+    put_varint(buf, u64::from(round.as_u32()));
+}
+
+fn get_round(r: &mut Reader<'_>) -> Result<Round, WireError> {
+    Ok(Round::new(get_u32(r)?))
+}
+
+fn put_sim_time(buf: &mut Vec<u8>, t: SimTime) {
+    put_varint(buf, t.as_micros());
+}
+
+fn get_sim_time(r: &mut Reader<'_>) -> Result<SimTime, WireError> {
+    Ok(SimTime::from_micros(r.varint()?))
+}
+
+fn put_sim_duration(buf: &mut Vec<u8>, d: SimDuration) {
+    put_varint(buf, d.as_micros());
+}
+
+fn get_sim_duration(r: &mut Reader<'_>) -> Result<SimDuration, WireError> {
+    Ok(SimDuration::from_micros(r.varint()?))
+}
+
+fn put_byte_size(buf: &mut Vec<u8>, b: ByteSize) {
+    put_varint(buf, b.as_bytes());
+}
+
+fn get_byte_size(r: &mut Reader<'_>) -> Result<ByteSize, WireError> {
+    Ok(ByteSize::from_bytes(r.varint()?))
+}
+
+fn put_cost(buf: &mut Vec<u8>, c: Cost) {
+    put_f64(buf, c.as_dollars());
+}
+
+fn get_cost(r: &mut Reader<'_>) -> Result<Cost, WireError> {
+    Ok(Cost::from_dollars(get_nonneg_f64(
+        r,
+        "cost must be finite and non-negative",
+    )?))
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags (declaration order)
+// ---------------------------------------------------------------------------
+
+fn kind_tag(kind: WorkloadKind) -> u8 {
+    match kind {
+        WorkloadKind::Personalized => 0,
+        WorkloadKind::Clustering => 1,
+        WorkloadKind::Debugging => 2,
+        WorkloadKind::MaliciousFiltering => 3,
+        WorkloadKind::Incentives => 4,
+        WorkloadKind::SchedulingCluster => 5,
+        WorkloadKind::ReputationCalc => 6,
+        WorkloadKind::SchedulingPerf => 7,
+        WorkloadKind::CosineSimilarity => 8,
+        WorkloadKind::Inference => 9,
+    }
+}
+
+fn get_kind(r: &mut Reader<'_>) -> Result<WorkloadKind, WireError> {
+    Ok(match r.u8()? {
+        0 => WorkloadKind::Personalized,
+        1 => WorkloadKind::Clustering,
+        2 => WorkloadKind::Debugging,
+        3 => WorkloadKind::MaliciousFiltering,
+        4 => WorkloadKind::Incentives,
+        5 => WorkloadKind::SchedulingCluster,
+        6 => WorkloadKind::ReputationCalc,
+        7 => WorkloadKind::SchedulingPerf,
+        8 => WorkloadKind::CosineSimilarity,
+        9 => WorkloadKind::Inference,
+        _ => return Err(WireError::Malformed("unknown workload kind tag")),
+    })
+}
+
+fn meta_kind_tag(kind: MetaKind) -> u8 {
+    match kind {
+        MetaKind::ClientUpdate => 0,
+        MetaKind::Aggregate => 1,
+        MetaKind::HyperParams => 2,
+        MetaKind::RoundMetrics => 3,
+    }
+}
+
+fn get_meta_kind(r: &mut Reader<'_>) -> Result<MetaKind, WireError> {
+    Ok(match r.u8()? {
+        0 => MetaKind::ClientUpdate,
+        1 => MetaKind::Aggregate,
+        2 => MetaKind::HyperParams,
+        3 => MetaKind::RoundMetrics,
+        _ => return Err(WireError::Malformed("unknown metadata kind tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// FL record types
+// ---------------------------------------------------------------------------
+
+fn put_weights(buf: &mut Vec<u8>, w: &WeightVector) {
+    let values = w.as_slice();
+    put_varint(buf, values.len() as u64);
+    for &v in values {
+        put_f32(buf, v);
+    }
+}
+
+fn get_weights(r: &mut Reader<'_>) -> Result<WeightVector, WireError> {
+    Ok(WeightVector::from_vec(get_vec(r, get_f32)?))
+}
+
+fn put_hyperparams(buf: &mut Vec<u8>, h: &HyperParams) {
+    put_round(buf, h.round);
+    put_f64(buf, h.learning_rate);
+    put_varint(buf, u64::from(h.batch_size));
+    put_varint(buf, u64::from(h.local_epochs));
+    put_f64(buf, h.momentum);
+    put_f64(buf, h.weight_decay);
+    put_f64(buf, h.server_lr);
+    put_f64(buf, h.sample_fraction);
+}
+
+fn get_hyperparams(r: &mut Reader<'_>) -> Result<HyperParams, WireError> {
+    Ok(HyperParams {
+        round: get_round(r)?,
+        learning_rate: get_f64(r)?,
+        batch_size: get_u32(r)?,
+        local_epochs: get_u32(r)?,
+        momentum: get_f64(r)?,
+        weight_decay: get_f64(r)?,
+        server_lr: get_f64(r)?,
+        sample_fraction: get_f64(r)?,
+    })
+}
+
+fn put_update(buf: &mut Vec<u8>, u: &ModelUpdate) {
+    put_job(buf, u.job);
+    put_client(buf, u.client);
+    put_round(buf, u.round);
+    put_weights(buf, &u.weights);
+    put_f64(buf, u.metrics.local_loss);
+    put_f64(buf, u.metrics.local_accuracy);
+    put_f64(buf, u.metrics.train_time_s);
+    put_f64(buf, u.metrics.upload_time_s);
+    put_varint(buf, u64::from(u.metrics.num_samples));
+    put_varint(buf, u64::from(u.metrics.staleness));
+    put_bool(buf, u.ground_truth_malicious);
+}
+
+fn get_update(r: &mut Reader<'_>) -> Result<ModelUpdate, WireError> {
+    Ok(ModelUpdate {
+        job: get_job(r)?,
+        client: get_client(r)?,
+        round: get_round(r)?,
+        weights: get_weights(r)?,
+        metrics: UpdateMetrics {
+            local_loss: get_f64(r)?,
+            local_accuracy: get_f64(r)?,
+            train_time_s: get_f64(r)?,
+            upload_time_s: get_f64(r)?,
+            num_samples: get_u32(r)?,
+            staleness: get_u32(r)?,
+        },
+        ground_truth_malicious: get_bool(r)?,
+    })
+}
+
+fn put_aggregate(buf: &mut Vec<u8>, a: &AggregateModel) {
+    put_job(buf, a.job);
+    put_round(buf, a.round);
+    put_weights(buf, &a.weights);
+    put_f64(buf, a.loss);
+    put_f64(buf, a.accuracy);
+    put_varint(buf, u64::from(a.num_clients));
+}
+
+fn get_aggregate(r: &mut Reader<'_>) -> Result<AggregateModel, WireError> {
+    Ok(AggregateModel {
+        job: get_job(r)?,
+        round: get_round(r)?,
+        weights: get_weights(r)?,
+        loss: get_f64(r)?,
+        accuracy: get_f64(r)?,
+        num_clients: get_u32(r)?,
+    })
+}
+
+fn put_client_info(buf: &mut Vec<u8>, c: &ClientRoundInfo) {
+    put_client(buf, c.client);
+    put_bool(buf, c.available);
+    put_bool(buf, c.participated);
+    put_bool(buf, c.completed);
+    put_f64(buf, c.compute_speed);
+    put_f64(buf, c.uplink_mbps);
+    put_f64(buf, c.reliability);
+    put_f64(buf, c.payout_balance);
+    put_varint(buf, u64::from(c.participation_count));
+    put_f64(buf, c.last_loss);
+}
+
+fn get_client_info(r: &mut Reader<'_>) -> Result<ClientRoundInfo, WireError> {
+    Ok(ClientRoundInfo {
+        client: get_client(r)?,
+        available: get_bool(r)?,
+        participated: get_bool(r)?,
+        completed: get_bool(r)?,
+        compute_speed: get_f64(r)?,
+        uplink_mbps: get_f64(r)?,
+        reliability: get_f64(r)?,
+        payout_balance: get_f64(r)?,
+        participation_count: get_u32(r)?,
+        last_loss: get_f64(r)?,
+    })
+}
+
+fn put_round_metrics(buf: &mut Vec<u8>, m: &RoundMetrics) {
+    put_round(buf, m.round);
+    put_f64(buf, m.global_loss);
+    put_f64(buf, m.global_accuracy);
+    put_f64(buf, m.training_round_secs);
+    put_varint(buf, m.clients.len() as u64);
+    for c in &m.clients {
+        put_client_info(buf, c);
+    }
+}
+
+fn get_round_metrics(r: &mut Reader<'_>) -> Result<RoundMetrics, WireError> {
+    Ok(RoundMetrics {
+        round: get_round(r)?,
+        global_loss: get_f64(r)?,
+        global_accuracy: get_f64(r)?,
+        training_round_secs: get_f64(r)?,
+        clients: get_vec(r, get_client_info)?,
+    })
+}
+
+fn put_record(buf: &mut Vec<u8>, rec: &RoundRecord) {
+    put_round(buf, rec.round);
+    put_hyperparams(buf, &rec.hyperparams);
+    put_varint(buf, rec.updates.len() as u64);
+    for u in &rec.updates {
+        put_update(buf, u);
+    }
+    put_aggregate(buf, &rec.aggregate);
+    put_round_metrics(buf, &rec.metrics);
+}
+
+fn get_record(r: &mut Reader<'_>) -> Result<RoundRecord, WireError> {
+    Ok(RoundRecord {
+        round: get_round(r)?,
+        hyperparams: get_hyperparams(r)?,
+        updates: get_vec(r, get_update)?,
+        aggregate: get_aggregate(r)?,
+        metrics: get_round_metrics(r)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+fn put_workload_request(buf: &mut Vec<u8>, w: &WorkloadRequest) {
+    put_varint(buf, w.id.as_u64());
+    buf.push(kind_tag(w.kind));
+    put_job(buf, w.job);
+    put_round(buf, w.round);
+    put_option(buf, w.client.as_ref(), |b, c| put_client(b, *c));
+    put_varint(buf, u64::from(w.window));
+}
+
+fn get_workload_request(r: &mut Reader<'_>) -> Result<WorkloadRequest, WireError> {
+    let id = RequestId::new(r.varint()?);
+    let kind = get_kind(r)?;
+    let job = get_job(r)?;
+    let round = get_round(r)?;
+    let client = get_option(r, get_client)?;
+    let window = get_u32(r)?;
+    // `WorkloadRequest::new` asserts this; a frame must not reach it.
+    if kind.policy_class() == PolicyClass::P3AcrossRounds && client.is_none() {
+        return Err(WireError::Malformed(
+            "client-tracking (P3) request without a target client",
+        ));
+    }
+    Ok(WorkloadRequest {
+        id,
+        kind,
+        job,
+        round,
+        client,
+        window,
+    })
+}
+
+fn put_meta_key(buf: &mut Vec<u8>, k: &MetaKey) {
+    put_job(buf, k.job);
+    put_round(buf, k.round);
+    put_option(buf, k.client.as_ref(), |b, c| put_client(b, *c));
+    buf.push(meta_kind_tag(k.kind));
+}
+
+fn get_meta_key(r: &mut Reader<'_>) -> Result<MetaKey, WireError> {
+    Ok(MetaKey {
+        job: get_job(r)?,
+        round: get_round(r)?,
+        client: get_option(r, get_client)?,
+        kind: get_meta_kind(r)?,
+    })
+}
+
+/// Encodes a request envelope stamped at `now`, returning the frame tag
+/// and payload. The arrival stamp rides in the payload so the serving
+/// results derive from the client-carried virtual clock — wall clock
+/// never reaches the store.
+pub fn encode_request(now: SimTime, request: &Request) -> (u8, Vec<u8>) {
+    let mut buf = Vec::new();
+    put_sim_time(&mut buf, now);
+    let tag = match request {
+        Request::Ingest { job, record } => {
+            put_job(&mut buf, *job);
+            put_record(&mut buf, record);
+            TAG_INGEST
+        }
+        Request::Serve(w) => {
+            put_workload_request(&mut buf, w);
+            TAG_SERVE
+        }
+        Request::Evict(key) => {
+            put_meta_key(&mut buf, key);
+            TAG_EVICT
+        }
+        Request::Stats => TAG_STATS,
+    };
+    (tag, buf)
+}
+
+/// Decodes a request frame's payload into its arrival stamp and
+/// envelope. The whole payload must be consumed ([`WireError::TrailingBytes`]
+/// otherwise).
+pub fn decode_request(tag: u8, payload: &[u8]) -> Result<(SimTime, Request), WireError> {
+    let mut r = Reader::new(payload);
+    let now = get_sim_time(&mut r)?;
+    let request = match tag {
+        TAG_INGEST => Request::Ingest {
+            job: get_job(&mut r)?,
+            record: Arc::new(get_record(&mut r)?),
+        },
+        TAG_SERVE => Request::Serve(get_workload_request(&mut r)?),
+        TAG_EVICT => Request::Evict(get_meta_key(&mut r)?),
+        TAG_STATS => Request::Stats,
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok((now, request))
+}
+
+// ---------------------------------------------------------------------------
+// Workload outputs
+// ---------------------------------------------------------------------------
+
+fn put_client_f64s(buf: &mut Vec<u8>, items: &[(ClientId, f64)]) {
+    put_varint(buf, items.len() as u64);
+    for (c, v) in items {
+        put_client(buf, *c);
+        put_f64(buf, *v);
+    }
+}
+
+fn get_client_f64s(r: &mut Reader<'_>) -> Result<Vec<(ClientId, f64)>, WireError> {
+    get_vec(r, |r| Ok((get_client(r)?, get_f64(r)?)))
+}
+
+fn put_client_usizes(buf: &mut Vec<u8>, items: &[(ClientId, usize)]) {
+    put_varint(buf, items.len() as u64);
+    for (c, v) in items {
+        put_client(buf, *c);
+        put_varint(buf, *v as u64);
+    }
+}
+
+fn get_client_usizes(r: &mut Reader<'_>) -> Result<Vec<(ClientId, usize)>, WireError> {
+    get_vec(r, |r| Ok((get_client(r)?, get_usize(r)?)))
+}
+
+fn put_clients(buf: &mut Vec<u8>, items: &[ClientId]) {
+    put_varint(buf, items.len() as u64);
+    for c in items {
+        put_client(buf, *c);
+    }
+}
+
+fn put_output(buf: &mut Vec<u8>, out: &WorkloadOutput) {
+    match out {
+        WorkloadOutput::Cosine(o) => {
+            buf.push(0);
+            put_client_f64s(buf, &o.per_client);
+            put_f64(buf, o.mean);
+            put_f64(buf, o.min);
+        }
+        WorkloadOutput::Filtering(o) => {
+            buf.push(1);
+            put_clients(buf, &o.flagged);
+            put_client_f64s(buf, &o.scores);
+        }
+        WorkloadOutput::Clustering(o) => {
+            buf.push(2);
+            put_client_usizes(buf, &o.assignments);
+            put_varint(buf, o.k as u64);
+            put_f64(buf, o.inertia);
+        }
+        WorkloadOutput::Personalization(o) => {
+            buf.push(3);
+            put_client_usizes(buf, &o.groups);
+            put_varint(buf, o.group_accuracy.len() as u64);
+            for v in &o.group_accuracy {
+                put_f64(buf, *v);
+            }
+        }
+        WorkloadOutput::SchedCluster(o) => {
+            buf.push(4);
+            put_client_usizes(buf, &o.tiers);
+            put_varint(buf, o.selected_tier as u64);
+            put_clients(buf, &o.selected);
+        }
+        WorkloadOutput::SchedPerf(o) => {
+            buf.push(5);
+            put_client_f64s(buf, &o.utilities);
+            put_clients(buf, &o.selected);
+        }
+        WorkloadOutput::Reputation(o) => {
+            buf.push(6);
+            put_client(buf, o.client);
+            put_varint(buf, o.history.len() as u64);
+            for (round, v) in &o.history {
+                put_round(buf, *round);
+                put_f64(buf, *v);
+            }
+            put_f64(buf, o.reputation);
+        }
+        WorkloadOutput::Debugging(o) => {
+            buf.push(7);
+            put_client(buf, o.client);
+            put_varint(buf, o.per_round.len() as u64);
+            for (round, v) in &o.per_round {
+                put_round(buf, *round);
+                put_f64(buf, *v);
+            }
+            put_bool(buf, o.faulty);
+        }
+        WorkloadOutput::Incentives(o) => {
+            buf.push(8);
+            put_client_f64s(buf, &o.payouts);
+            put_f64(buf, o.budget);
+        }
+        WorkloadOutput::Inference(o) => {
+            buf.push(9);
+            put_varint(buf, o.batch as u64);
+            put_f64(buf, o.mean_score);
+        }
+    }
+}
+
+fn get_output(r: &mut Reader<'_>) -> Result<WorkloadOutput, WireError> {
+    Ok(match r.u8()? {
+        0 => WorkloadOutput::Cosine(CosineOutput {
+            per_client: get_client_f64s(r)?,
+            mean: get_f64(r)?,
+            min: get_f64(r)?,
+        }),
+        1 => WorkloadOutput::Filtering(FilteringOutput {
+            flagged: get_vec(r, get_client)?,
+            scores: get_client_f64s(r)?,
+        }),
+        2 => WorkloadOutput::Clustering(ClusteringOutput {
+            assignments: get_client_usizes(r)?,
+            k: get_usize(r)?,
+            inertia: get_f64(r)?,
+        }),
+        3 => WorkloadOutput::Personalization(PersonalizationOutput {
+            groups: get_client_usizes(r)?,
+            group_accuracy: get_vec(r, get_f64)?,
+        }),
+        4 => WorkloadOutput::SchedCluster(SchedClusterOutput {
+            tiers: get_client_usizes(r)?,
+            selected_tier: get_usize(r)?,
+            selected: get_vec(r, get_client)?,
+        }),
+        5 => WorkloadOutput::SchedPerf(SchedPerfOutput {
+            utilities: get_client_f64s(r)?,
+            selected: get_vec(r, get_client)?,
+        }),
+        6 => WorkloadOutput::Reputation(ReputationOutput {
+            client: get_client(r)?,
+            history: get_vec(r, |r| Ok((get_round(r)?, get_f64(r)?)))?,
+            reputation: get_f64(r)?,
+        }),
+        7 => WorkloadOutput::Debugging(DebuggingOutput {
+            client: get_client(r)?,
+            per_round: get_vec(r, |r| Ok((get_round(r)?, get_f64(r)?)))?,
+            faulty: get_bool(r)?,
+        }),
+        8 => WorkloadOutput::Incentives(IncentivesOutput {
+            payouts: get_client_f64s(r)?,
+            budget: get_f64(r)?,
+        }),
+        9 => WorkloadOutput::Inference(InferenceOutput {
+            batch: get_usize(r)?,
+            mean_score: get_f64(r)?,
+        }),
+        _ => return Err(WireError::Malformed("unknown workload output tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Served outcomes
+// ---------------------------------------------------------------------------
+
+fn put_served(buf: &mut Vec<u8>, served: &ServedRequest) {
+    put_output(buf, &served.outcome.output);
+    put_f64(buf, served.outcome.work.as_ref_seconds());
+    put_byte_size(buf, served.outcome.result_bytes);
+
+    let m = &served.measured;
+    put_varint(buf, m.request.as_u64());
+    buf.push(kind_tag(m.kind));
+    put_sim_time(buf, m.arrived);
+    put_sim_time(buf, m.finished);
+    put_sim_duration(buf, m.latency.routing);
+    put_sim_duration(buf, m.latency.queueing);
+    put_sim_duration(buf, m.latency.communication);
+    put_sim_duration(buf, m.latency.computation);
+    put_cost(buf, m.cost.compute);
+    put_cost(buf, m.cost.storage);
+    put_cost(buf, m.cost.transfer);
+    put_cost(buf, m.cost.requests);
+    put_cost(buf, m.cost.infra);
+    put_varint(buf, m.cache_hits as u64);
+    put_varint(buf, m.cache_misses as u64);
+    put_bool(buf, m.recovered_from_fault);
+}
+
+fn get_served(r: &mut Reader<'_>) -> Result<ServedRequest, WireError> {
+    let output = get_output(r)?;
+    let work =
+        WorkUnits::from_ref_seconds(get_nonneg_f64(r, "work must be finite and non-negative")?);
+    let result_bytes = get_byte_size(r)?;
+    let measured = flstore_workloads::service::RequestOutcome {
+        request: RequestId::new(r.varint()?),
+        kind: get_kind(r)?,
+        arrived: get_sim_time(r)?,
+        finished: get_sim_time(r)?,
+        latency: LatencyBreakdown {
+            routing: get_sim_duration(r)?,
+            queueing: get_sim_duration(r)?,
+            communication: get_sim_duration(r)?,
+            computation: get_sim_duration(r)?,
+        },
+        cost: CostBreakdown {
+            compute: get_cost(r)?,
+            storage: get_cost(r)?,
+            transfer: get_cost(r)?,
+            requests: get_cost(r)?,
+            infra: get_cost(r)?,
+        },
+        cache_hits: get_usize(r)?,
+        cache_misses: get_usize(r)?,
+        recovered_from_fault: get_bool(r)?,
+    };
+    Ok(ServedRequest {
+        outcome: WorkloadOutcome {
+            output,
+            work,
+            result_bytes,
+        },
+        measured,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Stats and errors
+// ---------------------------------------------------------------------------
+
+fn put_quota_usage(buf: &mut Vec<u8>, q: &QuotaUsage) {
+    put_job(buf, q.job);
+    put_byte_size(buf, q.resident);
+    put_option(buf, q.quota.as_ref(), |b, t| {
+        put_byte_size(b, t.bytes);
+        b.push(match t.policy {
+            QuotaPolicy::Strict => 0,
+            QuotaPolicy::Elastic => 1,
+        });
+    });
+}
+
+fn get_quota_usage(r: &mut Reader<'_>) -> Result<QuotaUsage, WireError> {
+    Ok(QuotaUsage {
+        job: get_job(r)?,
+        resident: get_byte_size(r)?,
+        quota: get_option(r, |r| {
+            Ok(TenantQuota {
+                bytes: get_byte_size(r)?,
+                policy: match r.u8()? {
+                    0 => QuotaPolicy::Strict,
+                    1 => QuotaPolicy::Elastic,
+                    _ => return Err(WireError::Malformed("unknown quota policy tag")),
+                },
+            })
+        })?,
+    })
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &StatsReport) {
+    put_str(buf, &s.label);
+    put_varint(buf, s.tenants as u64);
+    put_varint(buf, s.served as u64);
+    put_varint(buf, s.cache_hits);
+    put_varint(buf, s.cache_misses);
+    put_f64(buf, s.hit_rate);
+    put_varint(buf, s.faults);
+    put_varint(buf, s.quota.len() as u64);
+    for q in &s.quota {
+        put_quota_usage(buf, q);
+    }
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<StatsReport, WireError> {
+    Ok(StatsReport {
+        label: get_str(r)?,
+        tenants: get_usize(r)?,
+        served: get_usize(r)?,
+        cache_hits: r.varint()?,
+        cache_misses: r.varint()?,
+        hit_rate: get_f64(r)?,
+        faults: r.varint()?,
+        quota: get_vec(r, get_quota_usage)?,
+    })
+}
+
+fn put_api_error(buf: &mut Vec<u8>, e: &ApiError) {
+    match e {
+        ApiError::UnknownJob { job } => {
+            buf.push(0);
+            put_job(buf, *job);
+        }
+        ApiError::QuotaExceeded {
+            job,
+            budget,
+            denied,
+        } => {
+            buf.push(1);
+            put_job(buf, *job);
+            put_byte_size(buf, *budget);
+            put_varint(buf, *denied as u64);
+        }
+        ApiError::NoData { request } => {
+            buf.push(2);
+            put_varint(buf, request.as_u64());
+        }
+        ApiError::Store(StoreError::NotFound(key)) => {
+            buf.push(3);
+            buf.push(0);
+            put_str(buf, key.as_str());
+        }
+        ApiError::Workload(WorkloadError::MissingInput { kind, what }) => {
+            buf.push(4);
+            buf.push(0);
+            buf.push(kind_tag(*kind));
+            put_str(buf, what);
+        }
+        ApiError::Platform(p) => {
+            buf.push(5);
+            match p {
+                PlatformError::UnknownFunction(id) => {
+                    buf.push(0);
+                    put_varint(buf, id.as_raw());
+                }
+                PlatformError::Function(FunctionError::OutOfMemory { id, need, free }) => {
+                    buf.push(1);
+                    buf.push(0);
+                    put_varint(buf, id.as_raw());
+                    put_byte_size(buf, *need);
+                    put_byte_size(buf, *free);
+                }
+            }
+        }
+        ApiError::Overloaded { retry_after_hint } => {
+            buf.push(6);
+            put_sim_duration(buf, *retry_after_hint);
+        }
+    }
+}
+
+fn get_api_error(r: &mut Reader<'_>) -> Result<ApiError, WireError> {
+    Ok(match r.u8()? {
+        0 => ApiError::UnknownJob { job: get_job(r)? },
+        1 => ApiError::QuotaExceeded {
+            job: get_job(r)?,
+            budget: get_byte_size(r)?,
+            denied: get_usize(r)?,
+        },
+        2 => ApiError::NoData {
+            request: RequestId::new(r.varint()?),
+        },
+        3 => match r.u8()? {
+            0 => ApiError::Store(StoreError::NotFound(ObjectKey::new(get_str(r)?))),
+            _ => return Err(WireError::Malformed("unknown store error tag")),
+        },
+        4 => match r.u8()? {
+            0 => {
+                let kind = get_kind(r)?;
+                let sent = get_str(r)?;
+                // `what` is `&'static str` in-process; intern through the
+                // documented closed set.
+                let what = MISSING_INPUT_WHATS
+                    .iter()
+                    .find(|w| **w == sent)
+                    .copied()
+                    .ok_or(WireError::Malformed(
+                        "unrecognized missing-input detail string",
+                    ))?;
+                ApiError::Workload(WorkloadError::MissingInput { kind, what })
+            }
+            _ => return Err(WireError::Malformed("unknown workload error tag")),
+        },
+        5 => match r.u8()? {
+            0 => ApiError::Platform(PlatformError::UnknownFunction(FunctionId::from_raw(
+                r.varint()?,
+            ))),
+            1 => match r.u8()? {
+                0 => ApiError::Platform(PlatformError::Function(FunctionError::OutOfMemory {
+                    id: FunctionId::from_raw(r.varint()?),
+                    need: get_byte_size(r)?,
+                    free: get_byte_size(r)?,
+                })),
+                _ => return Err(WireError::Malformed("unknown function error tag")),
+            },
+            _ => return Err(WireError::Malformed("unknown platform error tag")),
+        },
+        6 => ApiError::Overloaded {
+            retry_after_hint: get_sim_duration(r)?,
+        },
+        _ => return Err(WireError::Malformed("unknown api error tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Encodes a response envelope, returning the frame tag and payload.
+pub fn encode_response(response: &Response) -> (u8, Vec<u8>) {
+    let mut buf = Vec::new();
+    let tag = match response {
+        Response::Ingested(receipt) => {
+            put_varint(&mut buf, receipt.cached as u64);
+            put_varint(&mut buf, receipt.evicted as u64);
+            put_varint(&mut buf, receipt.backed_up as u64);
+            put_varint(&mut buf, receipt.quota_denied as u64);
+            TAG_INGESTED
+        }
+        Response::Served(served) => {
+            put_served(&mut buf, served);
+            TAG_SERVED
+        }
+        Response::Evicted { was_cached } => {
+            put_bool(&mut buf, *was_cached);
+            TAG_EVICTED
+        }
+        Response::Stats(stats) => {
+            put_stats(&mut buf, stats);
+            TAG_STATS_REPORT
+        }
+        Response::Rejected(e) => {
+            put_api_error(&mut buf, e);
+            TAG_REJECTED
+        }
+    };
+    (tag, buf)
+}
+
+/// Decodes a response frame's payload. The whole payload must be
+/// consumed ([`WireError::TrailingBytes`] otherwise).
+pub fn decode_response(tag: u8, payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let response = match tag {
+        TAG_INGESTED => Response::Ingested(IngestReceipt {
+            cached: get_usize(&mut r)?,
+            evicted: get_usize(&mut r)?,
+            backed_up: get_usize(&mut r)?,
+            quota_denied: get_usize(&mut r)?,
+        }),
+        TAG_SERVED => Response::Served(Box::new(get_served(&mut r)?)),
+        TAG_EVICTED => Response::Evicted {
+            was_cached: get_bool(&mut r)?,
+        },
+        TAG_STATS_REPORT => Response::Stats(get_stats(&mut r)?),
+        TAG_REJECTED => Response::Rejected(get_api_error(&mut r)?),
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(response)
+}

@@ -1,0 +1,74 @@
+//! # flstore-net — the network serving plane
+//!
+//! Puts the [`flstore_core::api::Service`] trait behind a real socket: a
+//! length-prefixed binary wire protocol (`docs/WIRE.md`) framing the
+//! existing typed [`Request`](flstore_core::api::Request) /
+//! [`Response`](flstore_core::api::Response) envelopes, a threaded TCP
+//! accept loop with per-connection pipelining, and backpressure that
+//! surfaces as typed
+//! [`ApiError::Overloaded`](flstore_core::api::ApiError::Overloaded)
+//! envelopes — never drops or connection resets.
+//!
+//! ```text
+//!  clients (flstore-loadgen, NetClient)
+//!     │  frames: [version][tag][len][payload]
+//!     ▼
+//!  accept loop ──conn semaphore──▶ reader thread (per connection)
+//!                                     │ decode + seq stamp
+//!                                     ▼
+//!                               engine thread (owns the Service,
+//!                               arrival-window batcher → submit_batch)
+//!                                     │
+//!                                     ▼
+//!                               writer thread (per connection,
+//!                               submission-order merge by seq)
+//! ```
+//!
+//! The engine can own any `Service` — including a
+//! [`flstore_exec::ShardedExecutor`], giving the front door a concurrent
+//! sharded backend whose responses are already merged back into
+//! submission order.
+//!
+//! A complete round-trip over an ephemeral port:
+//!
+//! ```
+//! use flstore_core::api::{Request, Response};
+//! use flstore_core::policy::TailoredPolicy;
+//! use flstore_core::store::{FlStore, FlStoreConfig};
+//! use flstore_fl::ids::JobId;
+//! use flstore_fl::job::{FlJobConfig, FlJobSim};
+//! use flstore_net::client::NetClient;
+//! use flstore_net::server::{NetServer, ServerConfig};
+//! use flstore_sim::time::SimTime;
+//! use std::sync::Arc;
+//!
+//! let cfg = FlJobConfig::quick_test(JobId::new(1));
+//! let store = FlStore::new(
+//!     FlStoreConfig::for_model(&cfg.model),
+//!     Box::new(TailoredPolicy::new()),
+//!     cfg.job,
+//!     cfg.model,
+//! );
+//! let server = NetServer::bind(Box::new(store), ServerConfig::default()).unwrap();
+//!
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! let record = FlJobSim::new(cfg.clone()).next().expect("rounds");
+//! let response = client
+//!     .call(
+//!         SimTime::ZERO,
+//!         &Request::Ingest { job: cfg.job, record: Arc::new(record) },
+//!     )
+//!     .unwrap();
+//! assert!(matches!(response, Response::Ingested(r) if r.cached > 0));
+//! drop(client);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod wire;

@@ -1,0 +1,436 @@
+//! The TCP front door: a threaded accept loop driving any
+//! [`Service`] behind the wire protocol.
+//!
+//! # Threading model
+//!
+//! * **accept thread** — owns the listener; admits connections under the
+//!   connection-limit semaphore. An over-limit connection receives one
+//!   typed [`ApiError::Overloaded`] envelope and a graceful close (the
+//!   socket is drained to EOF first, so the peer never observes a
+//!   reset).
+//! * **reader thread** (per connection) — reads frames, decodes request
+//!   envelopes, stamps each with a per-connection sequence number, and
+//!   forwards them to the engine. When the server-wide inflight cap is
+//!   reached, the reader short-circuits a typed `Overloaded` rejection
+//!   straight to the writer — through the same sequence-ordered merge,
+//!   so pipelined responses still come back in submission order.
+//! * **engine thread** — owns the `Service`. Drains the shared queue and
+//!   groups consecutive envelopes that share an arrival stamp into one
+//!   [`Service::submit_batch`] call (the arrival-window batcher). Batch
+//!   submission is bit-for-bit equivalent to sequential submission (a
+//!   property the workspace tests enforce on every `Service`), so how
+//!   arrivals happen to coalesce under wall-clock timing cannot change
+//!   any result byte.
+//! * **writer thread** (per connection) — merges responses back into
+//!   per-connection submission order by sequence number (the same
+//!   ordered-merge discipline as the sharded executor) and writes
+//!   frames.
+//!
+//! The hot path is channels and atomics only. The lone lock — the
+//! connection registry, touched at connect/disconnect — is a
+//! `parking_lot` *named* mutex, so the `lock-order` deadlock smoke
+//! covers this plane too. Admission against both caps uses
+//! compare-and-swap loops: the check and the commit are one atomic
+//! operation, never a check-then-act race.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use flstore_core::api::{ApiError, Request, Response, Service};
+use flstore_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::codec::{decode_request, encode_response};
+use crate::wire::{read_frame, write_frame};
+
+/// Tuning knobs for the front door.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent connections admitted past the accept loop. The
+    /// `max_connections + 1`-th connection receives a typed
+    /// [`ApiError::Overloaded`] envelope and a graceful close.
+    pub max_connections: usize,
+    /// Server-wide cap on decoded envelopes queued for the engine.
+    /// Beyond it, new envelopes are rejected with `Overloaded` instead
+    /// of queueing without bound.
+    pub max_inflight: usize,
+    /// Most envelopes the engine folds into one `submit_batch` call.
+    pub max_batch: usize,
+    /// The `retry_after_hint` carried by `Overloaded` rejections. Fixed
+    /// by configuration (not load-derived) so rejection envelopes are
+    /// byte-deterministic.
+    pub retry_after_hint: SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_inflight: 4096,
+            max_batch: 64,
+            retry_after_hint: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Atomically claims one slot below `cap`: the check and the increment
+/// are a single compare-and-swap, so concurrent claimants can never
+/// overshoot the cap (no check-then-act window).
+fn try_acquire(counter: &AtomicUsize, cap: usize) -> bool {
+    let mut current = counter.load(Ordering::Acquire);
+    loop {
+        if current >= cap {
+            return false;
+        }
+        match counter.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return true,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// One decoded envelope in flight from a reader to the engine.
+struct Job {
+    seq: u64,
+    now: SimTime,
+    request: Request,
+    reply: mpsc::Sender<(u64, Response)>,
+}
+
+/// A running TCP front door. Dropping the server shuts it down and joins
+/// every thread.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Mutex<Vec<TcpStream>>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `service` on background threads.
+    ///
+    /// ```
+    /// use flstore_core::policy::TailoredPolicy;
+    /// use flstore_core::store::{FlStore, FlStoreConfig};
+    /// use flstore_fl::ids::JobId;
+    /// use flstore_fl::job::FlJobConfig;
+    /// use flstore_net::server::{NetServer, ServerConfig};
+    ///
+    /// let cfg = FlJobConfig::quick_test(JobId::new(1));
+    /// let store = FlStore::new(
+    ///     FlStoreConfig::for_model(&cfg.model),
+    ///     Box::new(TailoredPolicy::new()),
+    ///     cfg.job,
+    ///     cfg.model,
+    /// );
+    /// let server = NetServer::bind(Box::new(store), ServerConfig::default()).unwrap();
+    /// assert_ne!(server.local_addr().port(), 0);
+    /// server.shutdown();
+    /// ```
+    pub fn bind(
+        service: Box<dyn Service + Send>,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::bind_to("127.0.0.1:0", service, config)
+    }
+
+    /// Like [`NetServer::bind`], binding an explicit address.
+    pub fn bind_to(
+        addr: impl ToSocketAddrs,
+        service: Box<dyn Service + Send>,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Mutex::named(Vec::new(), "net.conn_registry"));
+        let handles = Arc::new(Mutex::named(Vec::new(), "net.conn_handles"));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let connections = Arc::new(AtomicUsize::new(0));
+        let (engine_tx, engine_rx) = mpsc::channel::<Job>();
+
+        let engine = std::thread::Builder::new()
+            .name("net-engine".into())
+            .spawn({
+                let inflight = inflight.clone();
+                let max_batch = config.max_batch.max(1);
+                move || engine_loop(service, engine_rx, inflight, max_batch)
+            })?;
+
+        let accept = std::thread::Builder::new()
+            .name("net-accept".into())
+            .spawn({
+                let shutdown = shutdown.clone();
+                let registry = registry.clone();
+                let handles = handles.clone();
+                let config = config.clone();
+                move || {
+                    accept_loop(
+                        listener,
+                        engine_tx,
+                        config,
+                        shutdown,
+                        registry,
+                        handles,
+                        connections,
+                        inflight,
+                    )
+                }
+            })?;
+
+        Ok(NetServer {
+            addr,
+            shutdown,
+            registry,
+            handles,
+            accept: Some(accept),
+            engine: Some(engine),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every connection, and joins all threads.
+    /// In-flight envelopes finish; their responses are flushed before
+    /// the writers exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Unblock every connection reader; readers exiting drop the last
+        // engine senders, which stops the engine in turn.
+        for stream in self.registry.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let joins: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in joins {
+            let _ = h.join();
+        }
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    engine_tx: mpsc::Sender<Job>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Mutex<Vec<TcpStream>>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Arc<AtomicUsize>,
+    inflight: Arc<AtomicUsize>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        if !try_acquire(&connections, config.max_connections.max(1)) {
+            reject_connection(stream, config.retry_after_hint);
+            continue;
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            connections.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        };
+        let Ok(registered) = stream.try_clone() else {
+            connections.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        };
+        registry.lock().push(registered);
+
+        let (writer_tx, writer_rx) = mpsc::channel::<(u64, Response)>();
+        let writer = std::thread::Builder::new()
+            .name("net-writer".into())
+            .spawn(move || writer_loop(stream, writer_rx));
+        let reader = std::thread::Builder::new()
+            .name("net-reader".into())
+            .spawn({
+                let engine_tx = engine_tx.clone();
+                let inflight = inflight.clone();
+                let connections = connections.clone();
+                let config = config.clone();
+                move || {
+                    reader_loop(read_half, engine_tx, writer_tx, inflight, &config);
+                    connections.fetch_sub(1, Ordering::AcqRel);
+                }
+            });
+        let mut handles = handles.lock();
+        if let Ok(h) = writer {
+            handles.push(h);
+        }
+        if let Ok(h) = reader {
+            handles.push(h);
+        }
+    }
+}
+
+/// Turns away an over-limit connection with one typed `Overloaded`
+/// envelope and a graceful close: half-close our write side, then drain
+/// the peer's pending bytes to EOF so the kernel never answers queued
+/// data on a closed socket with an RST.
+fn reject_connection(mut stream: TcpStream, retry_after_hint: SimDuration) {
+    let response = Response::Rejected(ApiError::Overloaded { retry_after_hint });
+    let (tag, payload) = encode_response(&response);
+    let _ = write_frame(&mut stream, tag, &payload);
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    engine_tx: mpsc::Sender<Job>,
+    writer_tx: mpsc::Sender<(u64, Response)>,
+    inflight: Arc<AtomicUsize>,
+    config: &ServerConfig,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut seq = 0u64;
+    loop {
+        let (tag, payload) = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, a malformed frame, or a socket error all end the
+            // connection; the codec's typed errors keep this panic-free.
+            Ok(None) | Err(_) => return,
+        };
+        let (now, request) = match decode_request(tag, &payload) {
+            Ok(decoded) => decoded,
+            Err(_) => return,
+        };
+        let this_seq = seq;
+        seq += 1;
+        if try_acquire(&inflight, config.max_inflight.max(1)) {
+            let job = Job {
+                seq: this_seq,
+                now,
+                request,
+                reply: writer_tx.clone(),
+            };
+            if engine_tx.send(job).is_err() {
+                return;
+            }
+        } else {
+            // Backpressure as a typed envelope, routed through the same
+            // sequence-ordered merge as engine responses.
+            let rejection = Response::Rejected(ApiError::Overloaded {
+                retry_after_hint: config.retry_after_hint,
+            });
+            if writer_tx.send((this_seq, rejection)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<(u64, Response)>) {
+    let mut writer = BufWriter::new(stream);
+    let mut next_seq = 0u64;
+    // The submission-order merge: responses can arrive ahead of turn
+    // (reader-side rejections overtaking engine work); hold them until
+    // their sequence number is up.
+    let mut held: BTreeMap<u64, Response> = BTreeMap::new();
+    while let Ok((seq, response)) = rx.recv() {
+        held.insert(seq, response);
+        while let Some(response) = held.remove(&next_seq) {
+            let (tag, payload) = encode_response(&response);
+            if write_frame(&mut writer, tag, &payload).is_err() {
+                return;
+            }
+            next_seq += 1;
+        }
+        if held.is_empty() && writer.flush().is_err() {
+            return;
+        }
+    }
+    // Channel closed: the reader saw EOF (or an error) and the engine has
+    // replied to everything it admitted. Flush and half-close our write
+    // side so a client that half-closed after pipelining sees a clean EOF
+    // (the connection-registry clone would otherwise hold the socket open
+    // until server shutdown).
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Write);
+}
+
+fn engine_loop(
+    mut service: Box<dyn Service + Send>,
+    rx: mpsc::Receiver<Job>,
+    inflight: Arc<AtomicUsize>,
+    max_batch: usize,
+) {
+    // The virtual clock is clamped monotonic across envelopes: a stamp
+    // arriving out of order (a slow connection racing a fast one) can
+    // never rewind the service's notion of time.
+    let mut clock = SimTime::ZERO;
+    while let Ok(first) = rx.recv() {
+        // Arrival-window batcher: drain whatever else has already
+        // arrived, up to max_batch, without waiting.
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        // Group consecutive same-stamp envelopes into one batched
+        // submission. Batch ≡ sequential bit-for-bit for every Service,
+        // so the (timing-dependent) grouping cannot change result bytes.
+        let mut start = 0;
+        while start < jobs.len() {
+            let mut end = start + 1;
+            while end < jobs.len() && jobs[end].now == jobs[start].now {
+                end += 1;
+            }
+            clock = clock.max(jobs[start].now);
+            let group = &jobs[start..end];
+            let requests: Vec<Request> = group.iter().map(|j| j.request.clone()).collect();
+            let responses = service.submit_batch(clock, &requests);
+            inflight.fetch_sub(group.len(), Ordering::AcqRel);
+            for (job, response) in group.iter().zip(responses) {
+                // A closed connection just drops its responses.
+                let _ = job.reply.send((job.seq, response));
+            }
+            start = end;
+        }
+    }
+}

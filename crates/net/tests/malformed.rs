@@ -1,0 +1,160 @@
+//! Malformed-frame fuzzing: hostile bytes of every shape produce typed
+//! [`WireError`]s — never a panic, never an allocation blow-up.
+
+use proptest::prelude::*;
+
+use flstore_core::api::Request;
+use flstore_net::codec::{decode_request, decode_response, encode_request};
+use flstore_net::wire::{
+    read_frame, write_frame, WireError, MAX_FRAME_LEN, TAG_EVICT, TAG_INGEST, TAG_SERVE, TAG_STATS,
+    WIRE_VERSION,
+};
+use flstore_sim::time::SimTime;
+
+fn stats_frame() -> Vec<u8> {
+    let (tag, payload) = encode_request(SimTime::from_micros(5000), &Request::Stats);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, tag, &payload).expect("vec write");
+    frame
+}
+
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    let frame = stats_frame();
+    for cut in 1..frame.len() {
+        let mut cursor = &frame[..cut];
+        let err = read_frame(&mut cursor).expect_err("truncated frame must fail");
+        assert_eq!(err, WireError::Truncated, "cut at {cut}");
+    }
+    // Zero bytes is a clean close, not an error.
+    let mut cursor: &[u8] = &[];
+    assert_eq!(read_frame(&mut cursor).expect("clean EOF"), None);
+}
+
+#[test]
+fn bad_version_and_unknown_tag_are_typed() {
+    let mut frame = stats_frame();
+    frame[0] = 2;
+    let mut cursor = frame.as_slice();
+    assert_eq!(
+        read_frame(&mut cursor).expect_err("bad version"),
+        WireError::BadVersion(2)
+    );
+
+    let mut frame = stats_frame();
+    frame[1] = 0x7f; // not in the FRAMES inventory
+    let mut cursor = frame.as_slice();
+    assert_eq!(
+        read_frame(&mut cursor).expect_err("unknown tag"),
+        WireError::UnknownTag(0x7f)
+    );
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    // version, valid tag, then a varint length of 2^34 (> 64 MiB).
+    let frame = [WIRE_VERSION, TAG_STATS, 0x80, 0x80, 0x80, 0x80, 0x40];
+    let mut cursor = frame.as_slice();
+    match read_frame(&mut cursor).expect_err("oversized length") {
+        WireError::Oversized { declared, max } => {
+            assert_eq!(declared, 1 << 34);
+            assert_eq!(max, MAX_FRAME_LEN);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn overlong_length_varint_is_rejected() {
+    // Eleven continuation bytes can never terminate within the 10-byte
+    // LEB128 budget for a u64.
+    let mut frame = vec![WIRE_VERSION, TAG_STATS];
+    frame.extend(std::iter::repeat_n(0x80u8, 10));
+    frame.push(0x01);
+    let mut cursor = frame.as_slice();
+    assert_eq!(
+        read_frame(&mut cursor).expect_err("overlong varint"),
+        WireError::VarintOverflow
+    );
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let (tag, mut payload) = encode_request(SimTime::ZERO, &Request::Stats);
+    payload.push(0xaa);
+    assert_eq!(
+        decode_request(tag, &payload).expect_err("trailing byte"),
+        WireError::TrailingBytes { remaining: 1 }
+    );
+}
+
+#[test]
+fn p3_request_without_client_is_malformed() {
+    // Hand-assemble a Serve payload: now, id, kind=Debugging (P3, tag
+    // 2), job, round, client=None, window. The in-process constructor
+    // asserts the invariant, so the decoder must reject it first.
+    let payload = [
+        0x00, // now
+        0x01, // request id
+        0x02, // kind tag: Debugging (P3 across rounds)
+        0x01, // job
+        0x05, // round
+        0x00, // client: None
+        0x04, // window
+    ];
+    match decode_request(TAG_SERVE, &payload) {
+        Err(WireError::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_scalar_bytes_are_malformed() {
+    // A bool byte of 2 in an Evict key's client option.
+    let payload = [0x00, 0x01, 0x05, 0x02, 0x00];
+    assert!(matches!(
+        decode_request(TAG_EVICT, &payload),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+proptest! {
+    /// Arbitrary garbage decodes to a typed error or a valid envelope —
+    /// never a panic. (The decoder is total.)
+    #[test]
+    fn random_bytes_never_panic(
+        tag in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let _ = decode_request(tag, &payload);
+        let _ = decode_response(tag, &payload);
+        let mut cursor = payload.as_slice();
+        let _ = read_frame(&mut cursor);
+    }
+
+    /// Single-byte corruption of a real Ingest payload decodes to a
+    /// typed error or a (different) valid envelope — never a panic,
+    /// even though Ingest carries the deepest nested structures.
+    #[test]
+    fn corrupted_ingest_payload_never_panics(
+        seed in 0u64..10_000,
+        pos_pick in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let job = flstore_fl::job::FlJobConfig::quick_test(flstore_fl::ids::JobId::new(1));
+        let record = flstore_fl::job::FlJobSim::new(job.clone())
+            .next()
+            .expect("one round");
+        let request = Request::Ingest {
+            job: job.job,
+            record: std::sync::Arc::new(record),
+        };
+        let (tag, mut payload) = encode_request(SimTime::from_micros(seed), &request);
+        let pos = pos_pick % payload.len();
+        payload[pos] ^= 1 << bit;
+        let _ = decode_request(tag, &payload);
+        // Also feed the corrupted bytes to the response decoder: tags
+        // disagree, so it must fail typed, and must not panic.
+        let _ = decode_response(TAG_INGEST, &payload);
+    }
+}

@@ -1,0 +1,434 @@
+//! Property tests: the codec is canonical. For every envelope the
+//! protocol can carry, encode→decode→encode is byte-exact, and the
+//! worked hex examples in `docs/WIRE.md` §7 are asserted literally.
+
+use proptest::prelude::*;
+
+use flstore_cloud::blob::StoreError;
+use flstore_cloud::compute::WorkUnits;
+use flstore_core::api::{ApiError, Request, Response, StatsReport};
+use flstore_core::quota::{QuotaPolicy, QuotaUsage, TenantQuota};
+use flstore_core::store::{IngestReceipt, ServedRequest};
+use flstore_fl::aggregate::AggregateModel;
+use flstore_fl::hyperparams::HyperParams;
+use flstore_fl::ids::{ClientId, JobId, Round};
+use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::{MetaKey, MetaKind};
+use flstore_fl::metrics::{ClientRoundInfo, RoundMetrics};
+use flstore_fl::update::{ModelUpdate, UpdateMetrics};
+use flstore_fl::weights::WeightVector;
+use flstore_net::codec::{
+    decode_request, decode_response, encode_request, encode_response, MISSING_INPUT_WHATS,
+};
+use flstore_net::wire::{read_frame, write_frame};
+use flstore_serverless::function::{FunctionError, FunctionId};
+use flstore_serverless::platform::PlatformError;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::cost::{Cost, CostBreakdown};
+use flstore_sim::latency::LatencyBreakdown;
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::outputs::{
+    ClusteringOutput, CosineOutput, DebuggingOutput, FilteringOutput, IncentivesOutput,
+    InferenceOutput, PersonalizationOutput, ReputationOutput, SchedClusterOutput, SchedPerfOutput,
+    WorkloadOutput,
+};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::run::{WorkloadError, WorkloadOutcome};
+use flstore_workloads::service::RequestOutcome;
+use flstore_workloads::taxonomy::{PolicyClass, WorkloadKind};
+
+/// A tiny deterministic value mill: every field of a sampled envelope
+/// derives from one proptest-drawn seed, so the strategies stay simple
+/// while the structures exercise every field.
+struct Mill(u64);
+
+impl Mill {
+    fn u(&mut self) -> u64 {
+        // SplitMix64 step — deterministic, full-period.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn u32(&mut self) -> u32 {
+        (self.u() & 0xffff_ffff) as u32
+    }
+    fn small(&mut self, n: u64) -> u64 {
+        self.u() % n
+    }
+    fn f64(&mut self) -> f64 {
+        // Finite, mixed sign.
+        (self.u() % 2_000_000) as f64 / 1000.0 - 1000.0
+    }
+    fn pos_f64(&mut self) -> f64 {
+        (self.u() % 1_000_000) as f64 / 1000.0
+    }
+    fn f32(&mut self) -> f32 {
+        self.f64() as f32
+    }
+    fn boolean(&mut self) -> bool {
+        self.u() & 1 == 1
+    }
+    fn client(&mut self) -> ClientId {
+        ClientId::new(self.u32())
+    }
+    fn round(&mut self) -> Round {
+        Round::new(self.u32())
+    }
+    fn kind(&mut self) -> WorkloadKind {
+        WorkloadKind::ALL[self.small(WorkloadKind::ALL.len() as u64) as usize]
+    }
+    fn weights(&mut self) -> WeightVector {
+        let n = self.small(6) as usize;
+        WeightVector::from_vec((0..n).map(|_| self.f32()).collect())
+    }
+    fn client_f64s(&mut self) -> Vec<(ClientId, f64)> {
+        let n = self.small(4) as usize;
+        (0..n).map(|_| (self.client(), self.f64())).collect()
+    }
+    fn client_usizes(&mut self) -> Vec<(ClientId, usize)> {
+        let n = self.small(4) as usize;
+        (0..n)
+            .map(|_| (self.client(), self.small(64) as usize))
+            .collect()
+    }
+    fn clients(&mut self) -> Vec<ClientId> {
+        let n = self.small(4) as usize;
+        (0..n).map(|_| self.client()).collect()
+    }
+    fn round_f64s(&mut self) -> Vec<(Round, f64)> {
+        let n = self.small(4) as usize;
+        (0..n).map(|_| (self.round(), self.f64())).collect()
+    }
+
+    fn update(&mut self) -> ModelUpdate {
+        ModelUpdate {
+            job: JobId::new(self.u32()),
+            client: self.client(),
+            round: self.round(),
+            weights: self.weights(),
+            metrics: UpdateMetrics {
+                local_loss: self.f64(),
+                local_accuracy: self.f64(),
+                train_time_s: self.f64(),
+                upload_time_s: self.f64(),
+                num_samples: self.u32(),
+                staleness: self.u32(),
+            },
+            ground_truth_malicious: self.boolean(),
+        }
+    }
+
+    fn record(&mut self) -> RoundRecord {
+        let updates = (0..self.small(3)).map(|_| self.update()).collect();
+        let clients = (0..self.small(3))
+            .map(|_| ClientRoundInfo {
+                client: self.client(),
+                available: self.boolean(),
+                participated: self.boolean(),
+                completed: self.boolean(),
+                compute_speed: self.f64(),
+                uplink_mbps: self.f64(),
+                reliability: self.f64(),
+                payout_balance: self.f64(),
+                participation_count: self.u32(),
+                last_loss: self.f64(),
+            })
+            .collect();
+        RoundRecord {
+            round: self.round(),
+            hyperparams: HyperParams {
+                round: self.round(),
+                learning_rate: self.f64(),
+                batch_size: self.u32(),
+                local_epochs: self.u32(),
+                momentum: self.f64(),
+                weight_decay: self.f64(),
+                server_lr: self.f64(),
+                sample_fraction: self.f64(),
+            },
+            updates,
+            aggregate: AggregateModel {
+                job: JobId::new(self.u32()),
+                round: self.round(),
+                weights: self.weights(),
+                loss: self.f64(),
+                accuracy: self.f64(),
+                num_clients: self.u32(),
+            },
+            metrics: RoundMetrics {
+                round: self.round(),
+                global_loss: self.f64(),
+                global_accuracy: self.f64(),
+                training_round_secs: self.f64(),
+                clients,
+            },
+        }
+    }
+
+    fn workload_request(&mut self) -> WorkloadRequest {
+        let kind = self.kind();
+        // The P3 invariant the decoder enforces: across-rounds kinds
+        // always carry a target client.
+        let client = if kind.policy_class() == PolicyClass::P3AcrossRounds || self.boolean() {
+            Some(self.client())
+        } else {
+            None
+        };
+        WorkloadRequest {
+            id: RequestId::new(self.u()),
+            kind,
+            job: JobId::new(self.u32()),
+            round: self.round(),
+            client,
+            window: self.u32(),
+        }
+    }
+
+    fn request(&mut self, pick: u8) -> Request {
+        match pick % 4 {
+            0 => Request::Ingest {
+                job: JobId::new(self.u32()),
+                record: std::sync::Arc::new(self.record()),
+            },
+            1 => Request::Serve(self.workload_request()),
+            2 => Request::Evict(MetaKey {
+                job: JobId::new(self.u32()),
+                round: self.round(),
+                client: if self.boolean() {
+                    Some(self.client())
+                } else {
+                    None
+                },
+                kind: match self.small(4) {
+                    0 => MetaKind::ClientUpdate,
+                    1 => MetaKind::Aggregate,
+                    2 => MetaKind::HyperParams,
+                    _ => MetaKind::RoundMetrics,
+                },
+            }),
+            _ => Request::Stats,
+        }
+    }
+
+    fn output(&mut self, pick: u8) -> WorkloadOutput {
+        match pick % 10 {
+            0 => WorkloadOutput::Cosine(CosineOutput {
+                per_client: self.client_f64s(),
+                mean: self.f64(),
+                min: self.f64(),
+            }),
+            1 => WorkloadOutput::Filtering(FilteringOutput {
+                flagged: self.clients(),
+                scores: self.client_f64s(),
+            }),
+            2 => WorkloadOutput::Clustering(ClusteringOutput {
+                assignments: self.client_usizes(),
+                k: self.small(8) as usize,
+                inertia: self.pos_f64(),
+            }),
+            3 => WorkloadOutput::Personalization(PersonalizationOutput {
+                groups: self.client_usizes(),
+                group_accuracy: (0..self.small(4)).map(|_| self.f64()).collect(),
+            }),
+            4 => WorkloadOutput::SchedCluster(SchedClusterOutput {
+                tiers: self.client_usizes(),
+                selected_tier: self.small(4) as usize,
+                selected: self.clients(),
+            }),
+            5 => WorkloadOutput::SchedPerf(SchedPerfOutput {
+                utilities: self.client_f64s(),
+                selected: self.clients(),
+            }),
+            6 => WorkloadOutput::Reputation(ReputationOutput {
+                client: self.client(),
+                history: self.round_f64s(),
+                reputation: self.f64(),
+            }),
+            7 => WorkloadOutput::Debugging(DebuggingOutput {
+                client: self.client(),
+                per_round: self.round_f64s(),
+                faulty: self.boolean(),
+            }),
+            8 => WorkloadOutput::Incentives(IncentivesOutput {
+                payouts: self.client_f64s(),
+                budget: self.f64(),
+            }),
+            _ => WorkloadOutput::Inference(InferenceOutput {
+                batch: self.small(256) as usize,
+                mean_score: self.f64(),
+            }),
+        }
+    }
+
+    fn served(&mut self, pick: u8) -> ServedRequest {
+        ServedRequest {
+            outcome: WorkloadOutcome {
+                output: self.output(pick),
+                work: WorkUnits::from_ref_seconds(self.pos_f64()),
+                result_bytes: ByteSize::from_bytes(self.u() % (1 << 40)),
+            },
+            measured: RequestOutcome {
+                request: RequestId::new(self.u()),
+                kind: self.kind(),
+                arrived: SimTime::from_micros(self.u() % (1 << 50)),
+                finished: SimTime::from_micros(self.u() % (1 << 50)),
+                latency: LatencyBreakdown {
+                    routing: SimDuration::from_micros(self.u() % (1 << 40)),
+                    queueing: SimDuration::from_micros(self.u() % (1 << 40)),
+                    communication: SimDuration::from_micros(self.u() % (1 << 40)),
+                    computation: SimDuration::from_micros(self.u() % (1 << 40)),
+                },
+                cost: CostBreakdown {
+                    compute: Cost::from_dollars(self.pos_f64()),
+                    storage: Cost::from_dollars(self.pos_f64()),
+                    transfer: Cost::from_dollars(self.pos_f64()),
+                    requests: Cost::from_dollars(self.pos_f64()),
+                    infra: Cost::from_dollars(self.pos_f64()),
+                },
+                cache_hits: self.small(1 << 20) as usize,
+                cache_misses: self.small(1 << 20) as usize,
+                recovered_from_fault: self.boolean(),
+            },
+        }
+    }
+
+    fn api_error(&mut self, pick: u8) -> ApiError {
+        match pick % 8 {
+            0 => ApiError::UnknownJob {
+                job: JobId::new(self.u32()),
+            },
+            1 => ApiError::QuotaExceeded {
+                job: JobId::new(self.u32()),
+                budget: ByteSize::from_bytes(self.u() % (1 << 40)),
+                denied: self.small(1 << 20) as usize,
+            },
+            2 => ApiError::NoData {
+                request: RequestId::new(self.u()),
+            },
+            3 => ApiError::Store(StoreError::NotFound(flstore_cloud::blob::ObjectKey::new(
+                format!("job/{}/round/{}", self.u32(), self.u32()),
+            ))),
+            4 => ApiError::Workload(WorkloadError::MissingInput {
+                kind: self.kind(),
+                what: MISSING_INPUT_WHATS[self.small(MISSING_INPUT_WHATS.len() as u64) as usize],
+            }),
+            5 => ApiError::Platform(PlatformError::UnknownFunction(FunctionId::from_raw(
+                self.u(),
+            ))),
+            6 => ApiError::Platform(PlatformError::Function(FunctionError::OutOfMemory {
+                id: FunctionId::from_raw(self.u()),
+                need: ByteSize::from_bytes(self.u() % (1 << 40)),
+                free: ByteSize::from_bytes(self.u() % (1 << 40)),
+            })),
+            _ => ApiError::Overloaded {
+                retry_after_hint: SimDuration::from_micros(self.u() % (1 << 40)),
+            },
+        }
+    }
+
+    fn response(&mut self, pick: u8) -> Response {
+        match pick % 5 {
+            0 => Response::Ingested(IngestReceipt {
+                cached: self.small(1 << 20) as usize,
+                evicted: self.small(1 << 20) as usize,
+                backed_up: self.small(1 << 20) as usize,
+                quota_denied: self.small(1 << 20) as usize,
+            }),
+            1 => Response::Served(Box::new(self.served(pick / 5))),
+            2 => Response::Evicted {
+                was_cached: self.boolean(),
+            },
+            3 => {
+                let quota = (0..self.small(3))
+                    .map(|_| QuotaUsage {
+                        job: JobId::new(self.u32()),
+                        resident: ByteSize::from_bytes(self.u() % (1 << 40)),
+                        quota: if self.boolean() {
+                            Some(TenantQuota {
+                                bytes: ByteSize::from_bytes(self.u() % (1 << 40)),
+                                policy: if self.boolean() {
+                                    QuotaPolicy::Strict
+                                } else {
+                                    QuotaPolicy::Elastic
+                                },
+                            })
+                        } else {
+                            None
+                        },
+                    })
+                    .collect();
+                Response::Stats(StatsReport {
+                    label: format!("store-{}", self.small(100)),
+                    tenants: self.small(64) as usize,
+                    served: self.small(1 << 20) as usize,
+                    cache_hits: self.u() % (1 << 40),
+                    cache_misses: self.u() % (1 << 40),
+                    hit_rate: self.pos_f64() / 1e6,
+                    faults: self.u() % (1 << 20),
+                    quota,
+                })
+            }
+            _ => Response::Rejected(self.api_error(pick / 5)),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip_is_byte_exact(seed in 0u64..1_000_000, pick in 0u8..64) {
+        let mut mill = Mill(seed);
+        let now = SimTime::from_micros(mill.u() % (1 << 50));
+        let request = mill.request(pick);
+        let (tag, payload) = encode_request(now, &request);
+        let (now2, decoded) = decode_request(tag, &payload).expect("valid payload decodes");
+        prop_assert_eq!(now, now2);
+        let (tag2, payload2) = encode_request(now2, &decoded);
+        prop_assert_eq!(tag, tag2);
+        prop_assert_eq!(payload, payload2);
+    }
+
+    #[test]
+    fn response_round_trip_is_byte_exact(seed in 0u64..1_000_000, pick in 0u8..64) {
+        let mut mill = Mill(seed);
+        let response = mill.response(pick);
+        let (tag, payload) = encode_response(&response);
+        let decoded = decode_response(tag, &payload).expect("valid payload decodes");
+        let (tag2, payload2) = encode_response(&decoded);
+        prop_assert_eq!(tag, tag2);
+        prop_assert_eq!(payload, payload2);
+    }
+
+    #[test]
+    fn framing_round_trips_over_a_buffer(seed in 0u64..1_000_000, pick in 0u8..64) {
+        let mut mill = Mill(seed);
+        let now = SimTime::from_micros(mill.u() % (1 << 50));
+        let (tag, payload) = encode_request(now, &mill.request(pick));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag, &payload).expect("vec write");
+        let mut cursor = buf.as_slice();
+        let (tag2, payload2) = read_frame(&mut cursor)
+            .expect("well-formed frame")
+            .expect("not EOF");
+        prop_assert_eq!(tag, tag2);
+        prop_assert_eq!(payload, payload2);
+        prop_assert_eq!(read_frame(&mut cursor).expect("clean EOF"), None);
+    }
+}
+
+/// The worked hex examples in `docs/WIRE.md` §7, byte for byte.
+#[test]
+fn wire_md_worked_examples() {
+    let (tag, payload) = encode_request(SimTime::from_micros(5000), &Request::Stats);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, tag, &payload).expect("vec write");
+    assert_eq!(frame, [0x01, 0x04, 0x02, 0x88, 0x27]);
+
+    let (tag, payload) = encode_response(&Response::Rejected(ApiError::Overloaded {
+        retry_after_hint: SimDuration::from_micros(1000),
+    }));
+    let mut frame = Vec::new();
+    write_frame(&mut frame, tag, &payload).expect("vec write");
+    assert_eq!(frame, [0x01, 0x85, 0x03, 0x06, 0xe8, 0x07]);
+}

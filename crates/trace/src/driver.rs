@@ -461,6 +461,123 @@ pub fn drive_batched<S: Service>(
     }
 }
 
+/// Materializes the envelope schedule a trace produces, without driving
+/// any system: the same planned arrivals, round-ingest cadence, workload
+/// targets, and rotating P3 audit set as [`drive_batched`], flattened to
+/// `(arrival, envelope)` pairs in submission order.
+///
+/// This is the replay surface for out-of-process consumers — the
+/// `flstore-loadgen` client drivers serialize exactly this schedule over
+/// the wire, so a networked run serves the *same trace* the in-process
+/// driver serves. Arrival stamps are monotone non-decreasing; every
+/// `Ingest` precedes the serves that target its round.
+///
+/// ```
+/// use flstore_fl::ids::JobId;
+/// use flstore_fl::job::FlJobConfig;
+/// use flstore_trace::driver::{materialize_schedule, TraceConfig};
+///
+/// let job = FlJobConfig::quick_test(JobId::new(1));
+/// let schedule = materialize_schedule(&job, &TraceConfig::smoke(7));
+/// assert!(schedule.len() > job.rounds as usize); // ingests + serves
+/// let mut prev = flstore_sim::time::SimTime::ZERO;
+/// for (at, _) in &schedule {
+///     assert!(*at >= prev);
+///     prev = *at;
+/// }
+/// ```
+pub fn materialize_schedule(job_cfg: &FlJobConfig, trace: &TraceConfig) -> Vec<(SimTime, Request)> {
+    assert!(
+        trace.events.is_some() || !trace.kinds.is_empty(),
+        "trace needs at least one workload kind"
+    );
+    let mut sim = FlJobSim::new(job_cfg.clone());
+    let mut rng = DetRng::stream(trace.seed, "trace-targets");
+
+    let round_interval = trace.window.div_u64(u64::from(job_cfg.rounds.max(1)));
+    let planned: Vec<(SimTime, Option<TraceEvent>)> = match &trace.events {
+        Some(events) => events
+            .iter()
+            .map(|e| {
+                (
+                    SimTime::ZERO + SimDuration::from_secs_f64(e.t),
+                    Some(e.clone()),
+                )
+            })
+            .collect(),
+        None => crate::arrival::poisson_arrivals(
+            trace.seed,
+            SimTime::ZERO,
+            trace.window,
+            trace.requests,
+        )
+        .into_iter()
+        .map(|at| (at, None))
+        .collect(),
+    };
+
+    let mut schedule = Vec::with_capacity(planned.len() + job_cfg.rounds as usize);
+    let mut next_round_at = SimTime::ZERO;
+    let mut latest: Option<Arc<RoundRecord>> = None;
+    let mut audited: Vec<ClientId> = Vec::new();
+    let mut request_seq = 0u64;
+
+    for (at, event) in planned {
+        while next_round_at <= at {
+            match sim.next_round() {
+                Some(record) => {
+                    let record = Arc::new(record);
+                    schedule.push((
+                        next_round_at,
+                        Request::Ingest {
+                            job: job_cfg.job,
+                            record: record.clone(),
+                        },
+                    ));
+                    latest = Some(record);
+                    next_round_at += round_interval;
+                }
+                None => break,
+            }
+        }
+        let Some(record) = latest.as_ref() else {
+            continue;
+        };
+        let kind = match &event {
+            Some(e) => e.workload,
+            None => trace.kinds[request_seq as usize % trace.kinds.len()],
+        };
+        request_seq += 1;
+        let explicit_client = event.as_ref().and_then(|e| e.client).map(ClientId::new);
+        let client = match kind.policy_class() {
+            PolicyClass::P3AcrossRounds => explicit_client.or_else(|| {
+                if audited.len() < 4 {
+                    let pick = record.updates[rng.index(record.updates.len())].client;
+                    if !audited.contains(&pick) {
+                        audited.push(pick);
+                    }
+                }
+                Some(audited[request_seq as usize % audited.len()])
+            }),
+            _ => explicit_client,
+        };
+        let round = event
+            .as_ref()
+            .and_then(|e| e.round)
+            .map(Round::new)
+            .unwrap_or(record.round);
+        let request = WorkloadRequest::new(
+            RequestId::new(request_seq),
+            kind,
+            job_cfg.job,
+            round,
+            client,
+        );
+        schedule.push((at, Request::Serve(request)));
+    }
+    schedule
+}
+
 /// The parallel drive loop: like [`drive_batched`], but serving through a
 /// [`ShardedExecutor`] with `threads` worker shards — each batch the
 /// arrival-window batcher forms fans out across the executor's workers

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Drift guard for the wire-protocol spec: the frame-tag table in
+# docs/WIRE.md (between the wire-frames:begin/end markers) must match
+# `flstore-net --list-frames` exactly — same tags, same names, same
+# directions, same summaries, same order. A frame added, removed, or
+# reworded in crates/net/src/wire.rs without updating the spec (or vice
+# versa) fails CI here.
+#
+# Usage: scripts/check_wire_doc.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+actual="$(cargo run -q -p flstore-net --bin flstore-net -- --list-frames)"
+
+# Extract the WIRE.md table rows and reduce them to the same
+# tab-separated `0xNN<TAB>name<TAB>direction<TAB>summary` shape
+# --list-frames emits.
+documented="$(
+    awk '/<!-- wire-frames:begin -->/{f=1; next} /<!-- wire-frames:end -->/{f=0} f' docs/WIRE.md |
+        grep '^| `' |
+        sed -E 's/^\| `([^`]+)` \| ([^|]+) \| ([^|]+) \| (.*) \|$/\1\t\2\t\3\t\4/' |
+        sed -E 's/[[:space:]]+\t/\t/g; s/\t[[:space:]]+/\t/g; s/[[:space:]]+$//'
+)"
+
+if diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >/dev/null; then
+    count="$(printf '%s\n' "$actual" | wc -l)"
+    echo "wire frames in sync: $count frames match between --list-frames and docs/WIRE.md"
+else
+    echo "docs/WIRE.md frame table has drifted from flstore-net --list-frames:" >&2
+    diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >&2 || true
+    echo >&2
+    echo "update the table between <!-- wire-frames:begin/end --> in docs/WIRE.md" >&2
+    echo "(or the FRAMES inventory in crates/net/src/wire.rs) so they agree." >&2
+    exit 1
+fi

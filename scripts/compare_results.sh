@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # Byte-diffs two figure-result directories: every JSON output must be
-# identical, except overhead.json's wall-clock timing fields
-# (dispatch_us/complete_us/record_us — real elapsed time, different on
-# every run), which are normalized away before comparing.
+# identical, except sanctioned wall-clock fields, which are normalized
+# away before comparing:
 #
-# Those *_us fields are the ONLY normalized bytes by design: the §5.5
-# overhead microbenchmark is the one sanctioned consumer of real
-# wall-clock time in the workspace (`Instant::now` is banned everywhere
-# else — see analyze-allowlist.txt and clippy.toml), so overhead.json is
-# the one file allowed to carry run-dependent bytes, and only in those
-# fields. Every other output derives purely from the simulated clock and
-# seeded RNG streams and must reproduce byte-for-byte. Widening the
-# normalization here would silently weaken the determinism gate.
+#   * overhead.json's dispatch_us/complete_us/record_us — the §5.5
+#     overhead microbenchmark times real operations;
+#   * any numeric field whose name ends in `_wall` — the naming
+#     convention the network-plane outputs (netserve.json, loadgen
+#     reports) use to mark measured latency/goodput. Everything else in
+#     those files (counts, checksums over response payload bytes) is
+#     pure payload fact and must reproduce byte-for-byte.
+#
+# These are the ONLY normalized bytes by design: real wall-clock reads
+# are banned everywhere else in the workspace (`Instant::now` — see
+# analyze-allowlist.txt and clippy.toml), so every other output derives
+# purely from the simulated clock and seeded RNG streams and must
+# reproduce byte-for-byte. Widening the normalization beyond these two
+# rules would silently weaken the determinism gate; producers must opt
+# in by using the `_wall` suffix, never by editing this script.
 #
 # This is the standing parallel-determinism gate: CI runs the figures
 # sweep sequentially and with --threads 4 and feeds both directories
@@ -31,9 +37,14 @@ fi
 a="$1"
 b="$2"
 
-# Strip the wall-clock fields from overhead.json rows.
+# Strip the sanctioned wall-clock fields: the overhead.json *_us trio
+# (applied only to that file) and the `_wall`-suffixed convention
+# (applied everywhere).
 normalize_overhead() {
     sed -E 's/"(dispatch|complete|record)_us": *[0-9.eE+-]+/"\1_us": "WALL-CLOCK"/g' "$1"
+}
+normalize_wall() {
+    sed -E 's/"([A-Za-z0-9_]+_wall)": *[0-9.eE+-]+/"\1": "WALL-CLOCK"/g' "$1"
 }
 
 fail=0
@@ -51,8 +62,8 @@ for f in "$a"/*.json; do
             echo "differs (beyond wall-clock fields): $name"
             fail=1
         fi
-    elif ! cmp -s "$f" "$b/$name"; then
-        echo "differs: $name"
+    elif ! diff -q <(normalize_wall "$f") <(normalize_wall "$b/$name") >/dev/null; then
+        echo "differs (beyond _wall fields): $name"
         fail=1
     fi
 done
@@ -70,6 +81,6 @@ for f in "$b"/*.json; do
 done
 
 if [ "$fail" -eq 0 ]; then
-    echo "all $count result files identical across $a and $b (modulo overhead.json wall-clock)"
+    echo "all $count result files identical across $a and $b (modulo sanctioned wall-clock fields)"
 fi
 exit "$fail"

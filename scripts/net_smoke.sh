@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network serving plane: the real server binary
+# (lock-order detector armed) driven by the real load generator over
+# loopback.
+#
+#   1. Closed-loop determinism: the same seeded schedule replayed
+#      against a fresh 4-shard server and a fresh sequential server;
+#      the two reports must be byte-identical after
+#      scripts/compare_results.sh normalizes the `_wall` fields —
+#      same counts, same FNV-1a response checksum.
+#   2. Overload is typed: an open-loop burst into `--max-inflight 2`
+#      must see Overloaded envelopes and ZERO transport errors (no
+#      drops, no resets) — `--expect-overload` makes the loadgen the
+#      gate.
+#   3. Connection limiting is clean: 5 simultaneous connections into
+#      `--max-conns 2` probe as served/overloaded with zero transport
+#      errors.
+#
+# Usage: scripts/net_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Build up front so `listening on` is the first line the log parser sees
+# and the per-run startup is fast.
+cargo build --release -q -p flstore-net --features lock-order --bin flstore-net
+cargo build --release -q -p flstore-loadgen --bin flstore-loadgen
+
+server_pid=""
+server_log="$(mktemp)"
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -f "$server_log"
+}
+trap cleanup EXIT
+
+# start_server <extra flags...> — launches a fresh server on an
+# ephemeral port and sets $addr from its "listening on" line.
+start_server() {
+    : >"$server_log"
+    target/release/flstore-net serve --addr 127.0.0.1:0 "$@" >"$server_log" 2>&1 &
+    server_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$server_log")"
+        [ -n "$addr" ] && return 0
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "net-smoke: server exited before binding:" >&2
+            cat "$server_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "net-smoke: server never reported its address" >&2
+    exit 1
+}
+
+stop_server() {
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+out=net-smoke-results
+rm -rf "$out"
+mkdir -p "$out/sharded" "$out/sequential"
+
+# --- 1. closed-loop determinism: 4-shard vs sequential serving -------
+start_server --jobs 1 --threads 4
+echo "net-smoke: closed loop vs 4-shard server at $addr"
+target/release/flstore-loadgen --addr "$addr" --mode closed \
+    --requests 312 --seed 7 --out "$out/sharded/netload.json"
+stop_server
+
+start_server --jobs 1 --threads 1
+echo "net-smoke: closed loop vs sequential server at $addr"
+target/release/flstore-loadgen --addr "$addr" --mode closed \
+    --requests 312 --seed 7 --out "$out/sequential/netload.json"
+stop_server
+
+scripts/compare_results.sh "$out/sharded" "$out/sequential"
+
+# --- 2. overload surfaces as typed envelopes, never resets -----------
+start_server --jobs 1 --threads 4 --max-inflight 2
+echo "net-smoke: open-loop burst into max_inflight=2 at $addr"
+target/release/flstore-loadgen --addr "$addr" --mode burst \
+    --connections 4 --requests 312 --seed 7 --expect-overload \
+    --out "$out/burst.json"
+stop_server
+
+# --- 3. connection limiting: typed envelope + clean half-close -------
+start_server --jobs 1 --threads 1 --max-conns 2
+echo "net-smoke: connection probe into max_conns=2 at $addr"
+target/release/flstore-loadgen --addr "$addr" --mode probe \
+    --connections 5 --expect-overload
+stop_server
+
+echo
+echo "net-smoke: OK (deterministic closed loop, typed overload, clean connection limiting)"

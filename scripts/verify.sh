@@ -12,18 +12,23 @@
 #   5. cargo fmt --check                       (lint: BLOCKING, like CI)
 #   6. cargo doc --no-deps -D warnings         (lint: public API stays documented)
 #   7. determinism lint (analyze: BLOCKING, like CI) + rules/README
-#      drift guard via scripts/check_analyze_rules.sh
+#      drift guard via scripts/check_analyze_rules.sh + wire-protocol
+#      spec drift guard via scripts/check_wire_doc.sh
 #   8. lock-order detector tests: parking_lot unit tests + the exec
-#      stress/rendezvous/seeded-inversion suite, both --features lock-order
+#      stress/rendezvous/seeded-inversion suite + the net socket suite,
+#      all --features lock-order
 #   9. figures smoke: every experiment id end-to-end at --fast scale into
 #      results-smoke/ (so full-scale results/ are never clobbered), then
 #      scripts/check_figures_outputs.sh — the same check CI runs.
 #  10. parallel determinism: the same sweep again with --threads 4 (built
 #      with the lock-order detector armed) into results-smoke-threads4/,
 #      byte-diffed against the sequential run via
-#      scripts/compare_results.sh (overhead.json wall-clock fields
+#      scripts/compare_results.sh (sanctioned wall-clock fields
 #      excepted) — the sharded executor must be bit-for-bit sequential.
-#      Skip 9+10 with --skip-smoke for a quick edit-compile loop.
+#  11. net smoke: the real server binary + load generator over loopback
+#      via scripts/net_smoke.sh — closed-loop reports byte-diffed across
+#      shard counts, overload asserted typed (zero transport errors).
+#      Skip 9–11 with --skip-smoke for a quick edit-compile loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -60,8 +65,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 # lock-order deadlock detector suites.
 run cargo run -q -p flstore-analyze -- lint
 run scripts/check_analyze_rules.sh
+run scripts/check_wire_doc.sh
 run cargo test -q -p parking_lot --features lock-order
 run cargo test -q -p flstore-exec --features lock-order
+run cargo test -q -p flstore-net --features lock-order
 
 if [ "$skip_smoke" -eq 0 ]; then
     # Smoke outputs go to their own directory so this run can neither be
@@ -81,6 +88,11 @@ if [ "$skip_smoke" -eq 0 ]; then
     run cargo run --release -p flstore-bench --features lock-order --bin figures -- all --fast --threads 4
     unset FLSTORE_RESULTS_DIR
     run scripts/compare_results.sh results-smoke results-smoke-threads4
+
+    # Network plane smoke: real server binary + load generator over
+    # loopback, lock-order armed; closed-loop determinism across shard
+    # counts, typed overload, clean connection limiting.
+    run scripts/net_smoke.sh
 else
     echo
     echo "==> figures smoke SKIPPED (--skip-smoke); CI always runs it"

@@ -18,6 +18,8 @@
 //! | [`store`] | `flstore-core` | FLStore: engine, tracker, policies |
 //! | [`baselines`] | `flstore-baselines` | ObjStore-Agg, Cache-Agg |
 //! | [`exec`] | `flstore-exec` | sharded concurrent executor |
+//! | [`net`] | `flstore-net` | wire protocol + TCP front door |
+//! | [`loadgen`] | `flstore-loadgen` | socket-level load generators |
 //! | [`trace`] | `flstore-trace` | traces, drivers, scenarios |
 //!
 //! ## Quickstart
@@ -65,6 +67,8 @@ pub use flstore_cloud as cloud;
 pub use flstore_core as store;
 pub use flstore_exec as exec;
 pub use flstore_fl as fl;
+pub use flstore_loadgen as loadgen;
+pub use flstore_net as net;
 pub use flstore_serverless as serverless;
 pub use flstore_sim as sim;
 pub use flstore_trace as trace;
