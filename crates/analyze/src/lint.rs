@@ -98,6 +98,9 @@ const DETERMINISM_PREFIXES: &[&str] = &[
     "crates/exec/src/",
     "crates/workloads/src/",
     "crates/baselines/src/",
+    "crates/net/src/",
+    "crates/loadgen/src/",
+    "crates/durability/src/",
 ];
 
 /// True when `rel` falls under a determinism-critical crate's `src/`.

@@ -3,8 +3,8 @@
 #![forbid(unsafe_code)]
 
 use flstore_bench::{
-    breakdown, headline, inventory, jobs, motivation, netserve, policies, robustness, tenancy,
-    Scale,
+    breakdown, durability, headline, inventory, jobs, motivation, netserve, policies, robustness,
+    tenancy, Scale,
 };
 
 type Experiment = fn(Scale) -> serde_json::Value;
@@ -32,6 +32,7 @@ const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
     ("capacity", inventory::capacity, "capacity"),
     ("overhead", inventory::overhead, "overhead"),
     ("netserve", netserve::netserve, "netserve"),
+    ("durability", durability::durability, "durability"),
 ];
 
 /// Criterion bench targets (`cargo bench --bench <name>`), one per hot

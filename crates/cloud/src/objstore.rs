@@ -18,7 +18,7 @@ use crate::network::NetworkProfile;
 use crate::pricing::{ObjectStorePricing, TransferPricing};
 
 /// Configuration of an [`ObjectStore`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ObjectStoreConfig {
     /// Network path between the store and its clients.
     pub network: NetworkProfile,

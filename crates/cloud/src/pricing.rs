@@ -14,6 +14,8 @@
 //!   invocations (the InfiniCache observation FLStore builds on);
 //! * moving bytes between the data plane and the compute plane costs money.
 
+use serde::{Deserialize, Serialize};
+
 use flstore_sim::bytes::ByteSize;
 use flstore_sim::cost::Cost;
 use flstore_sim::time::SimDuration;
@@ -22,7 +24,7 @@ use flstore_sim::time::SimDuration;
 pub const SECONDS_PER_MONTH: f64 = 730.0 * 3600.0;
 
 /// Serverless function pricing (AWS Lambda-class).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FunctionPricing {
     /// Dollars per GB-second of configured memory while executing.
     pub per_gb_second: f64,
@@ -46,7 +48,7 @@ impl FunctionPricing {
 }
 
 /// Object-store pricing (AWS S3 standard-class).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ObjectStorePricing {
     /// Dollars per GB-month at rest.
     pub storage_per_gb_month: f64,
@@ -133,7 +135,7 @@ impl VmPricing {
 /// (§2.2, Fig. 8). We price plane-crossing traffic at the inter-service /
 /// internet-egress rate; traffic that stays inside one function (FLStore's
 /// locality-aware path) is free.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TransferPricing {
     /// Dollars per GB crossing between services/planes.
     pub per_gb: f64,

@@ -280,6 +280,13 @@ pub struct StatsReport {
     /// Replica reclamations observed (0 for systems without a serverless
     /// cache).
     pub faults: u64,
+    /// Objects currently resident in the disk-spill cold tier (0 without
+    /// a durability plane).
+    pub spilled_objects: u64,
+    /// Logical bytes currently resident in the cold tier.
+    pub spilled_bytes: ByteSize,
+    /// Spilled objects faulted back from disk on the serve path so far.
+    pub spill_faults: u64,
     /// Per-tenant quota occupancy, in job order (empty for systems that do
     /// not account residency, e.g. the aggregator baselines). Reported
     /// *after* any cross-tenant pressure pass the stats probe triggered.
@@ -298,6 +305,9 @@ impl StatsReport {
             cache_misses: ledger.misses(),
             hit_rate: ledger.hit_rate(),
             faults,
+            spilled_objects: 0,
+            spilled_bytes: ByteSize::ZERO,
+            spill_faults: 0,
             quota: Vec::new(),
         }
     }
@@ -385,6 +395,10 @@ impl Service for FlStore {
                     self.ledger(),
                     self.faults_observed(),
                 );
+                let (spilled_objects, spilled_bytes) = self.spill_stats();
+                report.spilled_objects = spilled_objects;
+                report.spilled_bytes = spilled_bytes;
+                report.spill_faults = self.spill_faults();
                 report.quota = vec![self.quota_usage()];
                 Response::Stats(report)
             }
@@ -520,6 +534,9 @@ impl MultiTenantStore {
             cache_misses: 0,
             hit_rate: 1.0,
             faults: 0,
+            spilled_objects: 0,
+            spilled_bytes: ByteSize::ZERO,
+            spill_faults: 0,
             quota: Vec::new(),
         };
         for store in self.tenants() {
@@ -527,6 +544,10 @@ impl MultiTenantStore {
             report.cache_hits += store.ledger().hits();
             report.cache_misses += store.ledger().misses();
             report.faults += store.faults_observed();
+            let (spilled_objects, spilled_bytes) = store.spill_stats();
+            report.spilled_objects += spilled_objects;
+            report.spilled_bytes += spilled_bytes;
+            report.spill_faults += store.spill_faults();
             report.quota.push(store.quota_usage());
         }
         let touched = report.cache_hits + report.cache_misses;

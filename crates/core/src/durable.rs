@@ -1,0 +1,179 @@
+//! The durability seam: what the store logs, spills, and snapshots.
+//!
+//! `flstore-core` stays free of file I/O. Instead the store exposes two
+//! narrow traits that a durability backend (the `flstore-durability`
+//! crate) implements against real disks:
+//!
+//! * [`RecordSink`] — receives every state-mutating envelope the store
+//!   executes ([`LedgerEvent`]), in execution order, *before* the mutation
+//!   runs (write-ahead discipline). A sink that persists these events can
+//!   replay them through the same public methods and arrive at a
+//!   bit-identical store.
+//! * [`SpillBackend`] — the cold tier. Quota/capacity pressure victims
+//!   hand their encoded bytes here instead of being dropped; a later miss
+//!   faults them back without touching the (slow, billed) object store.
+//!
+//! Both hooks are optional (`None` by default) and carry **zero behavior
+//! change when absent**: the store's envelope execution, costs, and
+//! ledger are identical with and without a sink attached, and identical
+//! with spill disabled — properties the batch-equivalence suite pins.
+//!
+//! [`StateDigest`] is the compact integrity fingerprint a sink embeds in
+//! snapshot records so recovery can verify replay landed on the same
+//! state the pre-crash store had.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::MetaKey;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::cost::CostBreakdown;
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::WorkloadRequest;
+
+/// Durability knobs carried by `FlStoreConfig`.
+///
+/// The defaults (`DurabilityConfig::DISABLED`) turn every feature off:
+/// no ledger is written, nothing spills, and the store behaves exactly
+/// as it did before the durability plane existed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Group-commit width: flush + sync the ledger after this many
+    /// appended records. `1` syncs every record (most durable, slowest);
+    /// larger values batch the fsync.
+    pub flush_every: u32,
+    /// Seal the active ledger segment into a snapshot-delimited segment
+    /// after this many records. `0` disables automatic sealing (segments
+    /// are sealed only on explicit request).
+    pub snapshot_every: u32,
+    /// Whether pressure victims spill their encoded bytes to the cold
+    /// tier instead of being dropped.
+    pub spill: bool,
+    /// Modeled latency of faulting one spilled object back from local
+    /// disk — charged per object on the serve path, well under the
+    /// object-store round trip it replaces.
+    pub spill_read_latency: SimDuration,
+}
+
+impl DurabilityConfig {
+    /// Everything off: no ledger, no spill. The store behaves exactly as
+    /// an undurable one.
+    pub const DISABLED: DurabilityConfig = DurabilityConfig {
+        flush_every: 1,
+        snapshot_every: 0,
+        spill: false,
+        spill_read_latency: SimDuration::from_micros(150),
+    };
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig::DISABLED
+    }
+}
+
+/// One state-mutating envelope, as the store is about to execute it.
+///
+/// The variants mirror the store's public mutating surface: every way
+/// state can change arrives through exactly one of these, so a sink that
+/// persists them all can reconstruct the store by replaying them in
+/// order through the same public methods.
+#[derive(Debug)]
+pub enum LedgerEvent<'a> {
+    /// `FlStore::ingest_round(now, record)`.
+    Ingest {
+        /// Ingest time.
+        now: SimTime,
+        /// The round being ingested.
+        record: &'a RoundRecord,
+    },
+    /// `FlStore::serve(now, request)` — serves mutate cache state
+    /// (recency, frequency, miss-path admissions), so they are part of
+    /// the replayed history.
+    Serve {
+        /// Serve time.
+        now: SimTime,
+        /// The request served.
+        request: &'a WorkloadRequest,
+    },
+    /// `FlStore::serve_batch(now, requests)` — one record for the whole
+    /// batch, preserving the exact batch shape (fault attribution is
+    /// batch-scoped).
+    ServeBatch {
+        /// Batch serve time.
+        now: SimTime,
+        /// The requests in batch order.
+        requests: &'a [WorkloadRequest],
+    },
+    /// `FlStore::evict(key)` — an explicit eviction envelope.
+    Evict {
+        /// The evicted key.
+        key: &'a MetaKey,
+    },
+    /// `FlStore::reclaim(need)` — an externally requested reclamation
+    /// (the cross-tenant pressure pass, the executor's reclaim RPC).
+    /// Internal reclaims triggered by admission are *not* logged: they
+    /// are deterministic consequences of the envelopes above.
+    Reclaim {
+        /// Bytes the caller asked to shed.
+        need: ByteSize,
+    },
+}
+
+/// Compact integrity fingerprint of a store's durable state.
+///
+/// Embedded in snapshot (segment-seal) records; recovery recomputes it
+/// after replaying each segment and refuses to proceed on mismatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDigest {
+    /// One line per cached key, sorted: key identity plus the policy-
+    /// relevant metadata (sequence numbers, frequency, size, placement).
+    pub rows: Vec<String>,
+    /// Decoded-value-layer residency.
+    pub resident: ByteSize,
+    /// Requests served so far.
+    pub served: usize,
+    /// Function faults observed so far.
+    pub faults: u64,
+    /// Accrued background (storage at rest) cost.
+    pub background_cost: CostBreakdown,
+}
+
+/// Receives the store's state-mutating envelopes, write-ahead.
+///
+/// The store calls [`RecordSink::append`] immediately *before* executing
+/// each mutating envelope, asks [`RecordSink::should_seal`] after, and
+/// hands over a fresh [`StateDigest`] when the sink wants to seal the
+/// active segment. Implementations own their flush/sync cadence.
+pub trait RecordSink: Send + fmt::Debug {
+    /// Persist one event. Called before the mutation executes.
+    fn append(&mut self, event: LedgerEvent<'_>);
+    /// Whether the active segment has grown enough to seal.
+    fn should_seal(&self) -> bool;
+    /// Seal the active segment, stamping it with the store's current
+    /// digest (computed *after* the last appended event executed).
+    fn seal(&mut self, digest: &StateDigest);
+    /// Flush and sync any buffered records now.
+    fn flush(&mut self);
+}
+
+/// The cold tier: holds encoded bytes for pressure victims.
+///
+/// Keys are full `MetaKey`s; payloads are the victim's encoded bytes and
+/// its logical (pre-framing) size, exactly what the cache needs to
+/// re-admit the object on fault-back.
+pub trait SpillBackend: Send + fmt::Debug {
+    /// Store a victim's encoded payload. Overwrites any prior spill of
+    /// the same key.
+    fn spill(&mut self, key: &MetaKey, payload: &[u8], logical: ByteSize);
+    /// Fetch a spilled payload back, removing it from the tier.
+    /// Returns the payload and its logical size.
+    fn fetch(&mut self, key: &MetaKey) -> Option<(Vec<u8>, ByteSize)>;
+    /// Drop a spilled entry without reading it (the object became
+    /// obsolete — it must not be faulted back).
+    fn discard(&mut self, key: &MetaKey);
+    /// `(objects currently spilled, logical bytes currently spilled)`.
+    fn stats(&self) -> (u64, ByteSize);
+}

@@ -18,6 +18,9 @@
 //!   per-job caches on one deployment (paper Appendix A).
 //! * [`quota`] — per-tenant memory budgets and the deterministic
 //!   cross-tenant pressure plane (Appendix A resource governance).
+//! * [`durable`] — the durability seam: the write-ahead [`RecordSink`] and
+//!   cold-tier [`SpillBackend`] traits the `flstore-durability` crate
+//!   implements against real disks.
 //! * [`metrics`] — per-request outcomes and experiment ledgers (shared
 //!   with the baselines via `flstore-workloads`).
 //! * [`error`] — error types.
@@ -65,6 +68,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod api;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod policy;
@@ -80,6 +84,7 @@ pub mod metrics {
 }
 
 pub use api::{ApiError, Request, Response, Service, StatsReport};
+pub use durable::{DurabilityConfig, LedgerEvent, RecordSink, SpillBackend, StateDigest};
 pub use engine::CacheEngine;
 pub use error::FlStoreError;
 pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};

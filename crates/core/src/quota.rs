@@ -23,11 +23,13 @@
 //! runs over the same traffic produce identical victim sequences — the
 //! property the figure harness's byte-diff gate relies on.
 
+use serde::{Deserialize, Serialize};
+
 use flstore_fl::ids::JobId;
 use flstore_sim::bytes::ByteSize;
 
 /// How a tenant's budget is enforced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum QuotaPolicy {
     /// Hard bound: never admit past the budget; shed own victims to make
     /// room, refuse what still cannot fit.
@@ -49,7 +51,7 @@ pub enum QuotaPolicy {
 /// assert_eq!(q.policy, QuotaPolicy::Strict);
 /// assert!(TenantQuota::elastic(ByteSize::from_gb(2)).bytes == q.bytes);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TenantQuota {
     /// Budgeted resident bytes (logical cached bytes + decoded-layer
     /// residency).

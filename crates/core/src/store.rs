@@ -29,8 +29,11 @@ use flstore_sim::time::{SimDuration, SimTime};
 use flstore_workloads::request::{JobCatalog, WorkloadRequest};
 use flstore_workloads::run::{execute, WorkloadOutcome};
 
+use serde::{Deserialize, Serialize};
+
 use std::collections::HashMap;
 
+use crate::durable::{DurabilityConfig, LedgerEvent, RecordSink, SpillBackend, StateDigest};
 use crate::engine::CacheEngine;
 use crate::error::FlStoreError;
 use crate::policy::CachingPolicy;
@@ -39,7 +42,7 @@ use crate::tracker::RequestTracker;
 use flstore_workloads::service::{RequestOutcome, ServiceLedger};
 
 /// Configuration of an [`FlStore`] deployment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlStoreConfig {
     /// Seed for platform randomness (reclamation sampling).
     pub seed: u64,
@@ -65,6 +68,10 @@ pub struct FlStoreConfig {
     /// pre-quota behaviour; `Strict` is enforced inside this deployment,
     /// `Elastic` is reclaimed by the multi-tenant pressure plane.
     pub quota: Option<TenantQuota>,
+    /// Durability knobs: ledger flush cadence, snapshot cadence, and the
+    /// disk-spill cold tier. The default ([`DurabilityConfig::DISABLED`])
+    /// changes nothing about the store's behaviour.
+    pub durability: DurabilityConfig,
 }
 
 impl FlStoreConfig {
@@ -85,6 +92,7 @@ impl FlStoreConfig {
             objstore: ObjectStoreConfig::default(),
             routing_overhead: SimDuration::from_millis(2),
             quota: None,
+            durability: DurabilityConfig::DISABLED,
         }
     }
 }
@@ -150,6 +158,9 @@ pub struct FlStore {
     ledger: ServiceLedger,
     last_keepalive: SimTime,
     faults_observed: u64,
+    sink: Option<Box<dyn RecordSink>>,
+    spill: Option<Box<dyn SpillBackend>>,
+    spill_faults: u64,
 }
 
 impl FlStore {
@@ -182,6 +193,9 @@ impl FlStore {
             ledger: ServiceLedger::new(),
             last_keepalive: SimTime::ZERO,
             faults_observed: 0,
+            sink: None,
+            spill: None,
+            spill_faults: 0,
             policy,
             cfg,
         }
@@ -232,6 +246,101 @@ impl FlStore {
         self.cfg.quota
     }
 
+    /// The deployment's full configuration (durability backends persist it
+    /// so recovery can rebuild an identical store).
+    pub fn config(&self) -> &FlStoreConfig {
+        &self.cfg
+    }
+
+    /// Spilled objects faulted back from the cold tier so far.
+    pub fn spill_faults(&self) -> u64 {
+        self.spill_faults
+    }
+
+    /// `(objects, logical bytes)` currently resident in the cold tier;
+    /// zeros when no spill backend is attached.
+    pub fn spill_stats(&self) -> (u64, ByteSize) {
+        self.spill
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or((0, ByteSize::ZERO))
+    }
+
+    /// Attaches a write-ahead record sink. Every subsequent state-mutating
+    /// envelope is appended to it before executing.
+    pub fn set_record_sink(&mut self, sink: Box<dyn RecordSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the record sink (flushing is the sink's `Drop`/`flush`
+    /// responsibility), returning it to the caller.
+    pub fn take_record_sink(&mut self) -> Option<Box<dyn RecordSink>> {
+        self.sink.take()
+    }
+
+    /// Attaches a cold-tier spill backend. Only read when
+    /// `cfg.durability.spill` is also set.
+    pub fn set_spill_backend(&mut self, spill: Box<dyn SpillBackend>) {
+        self.spill = Some(spill);
+    }
+
+    /// Whether the cold tier is active (configured on *and* a backend is
+    /// attached).
+    fn spill_active(&self) -> bool {
+        self.cfg.durability.spill && self.spill.is_some()
+    }
+
+    /// The store's durable-state fingerprint: one sorted row per cached
+    /// key (identity + policy-relevant metadata + placement) plus the
+    /// scalar counters recovery must land on exactly. Read-only — in
+    /// particular it does not touch the decoded layer's recency state.
+    pub fn durability_digest(&self) -> StateDigest {
+        let mut rows: Vec<String> = self
+            .engine
+            .keys()
+            .map(|k| {
+                let meta = self.engine.meta(k).expect("keys() yields cached keys");
+                let locs = self.engine.locations(k).unwrap_or(&[]);
+                format!(
+                    "{k} size={} ins={} seq={} freq={} avail={:?} locs={locs:?}",
+                    meta.size,
+                    meta.inserted_seq,
+                    meta.last_access_seq,
+                    meta.frequency,
+                    meta.available_at,
+                )
+            })
+            .collect();
+        rows.sort_unstable();
+        StateDigest {
+            rows,
+            resident: self.resident_bytes(),
+            served: self.ledger.outcomes.len(),
+            faults: self.faults_observed,
+            background_cost: self.ledger.background_cost,
+        }
+    }
+
+    /// Appends one envelope to the record sink, if attached (write-ahead:
+    /// callers log before executing the mutation).
+    fn log_event(&mut self, event: LedgerEvent<'_>) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.append(event);
+        }
+    }
+
+    /// Seals the active ledger segment if the sink says it is due —
+    /// called *after* the envelope executed, so the embedded digest
+    /// describes the state replay must reach.
+    fn seal_if_due(&mut self) {
+        if self.sink.as_ref().is_some_and(|s| s.should_seal()) {
+            let digest = self.durability_digest();
+            if let Some(sink) = self.sink.as_mut() {
+                sink.seal(&digest);
+            }
+        }
+    }
+
     /// Resident cache bytes the quota/pressure plane accounts: the logical
     /// bytes tracked by the placement index plus the decoded-value layer's
     /// residency — one number every budgeting decision sees.
@@ -255,9 +364,20 @@ impl FlStore {
     /// keys in eviction order — the cross-tenant pressure plane's
     /// reclamation hook. The persistent copies remain the fallback.
     pub fn reclaim(&mut self, need: ByteSize) -> Vec<MetaKey> {
+        self.log_event(LedgerEvent::Reclaim { need });
+        let victims = self.reclaim_internal(need);
+        self.seal_if_due();
+        victims
+    }
+
+    /// The reclamation body, shared by the logged public entry point and
+    /// the admission gates. Internal callers are *not* logged: their
+    /// reclaims are deterministic consequences of the envelope that
+    /// triggered them, so replay re-derives them.
+    fn reclaim_internal(&mut self, need: ByteSize) -> Vec<MetaKey> {
         let victims = self.policy.victims(need, &self.engine);
         for victim in &victims {
-            self.evict_key(victim);
+            self.remove_key(victim, true);
         }
         victims
     }
@@ -284,7 +404,7 @@ impl FlStore {
         if projected <= quota.bytes {
             return true;
         }
-        self.reclaim(projected.saturating_sub(quota.bytes));
+        self.reclaim_internal(projected.saturating_sub(quota.bytes));
         self.resident_bytes() + size <= quota.bytes
     }
 
@@ -305,7 +425,7 @@ impl FlStore {
                 return;
             }
             let before = self.engine.len();
-            self.reclaim(resident.saturating_sub(quota.bytes));
+            self.reclaim_internal(resident.saturating_sub(quota.bytes));
             if self.engine.len() == before {
                 return; // nothing evictable remains
             }
@@ -320,6 +440,14 @@ impl FlStore {
         total.infra += self.platform.billing().keepalive_cost;
         total.storage += self.persistent.storage_cost(now);
         total
+    }
+
+    /// The latest instant this store has advanced to — its virtual clock.
+    /// Replay drives the same advances the original envelopes did, so a
+    /// recovered store reports the pre-crash clock; servers seed their
+    /// monotonic clamp from it so a restart cannot rewind time.
+    pub fn clock(&self) -> SimTime {
+        self.last_keepalive
     }
 
     /// Advances background processes (keep-alive pings) to `now`, handling
@@ -412,7 +540,7 @@ impl FlStore {
                 let need = (used + size).saturating_sub(cap);
                 let victims = self.policy.victims(need, &self.engine);
                 for v in victims {
-                    self.evict_key(&v);
+                    self.remove_key(&v, true);
                 }
                 if self.ring_used_bytes(ring) + size > cap {
                     return None; // cannot fit even after shedding
@@ -457,7 +585,24 @@ impl FlStore {
         }
     }
 
-    fn evict_key(&mut self, key: &MetaKey) {
+    /// Removes `key` from every cache layer. Pressure victims
+    /// (`spill_victim`) hand their encoded bytes to the cold tier on the
+    /// way out; explicit evictions instead *discard* any cold-tier copy —
+    /// an obsolete object must never be faulted back.
+    fn remove_key(&mut self, key: &MetaKey, spill_victim: bool) {
+        if spill_victim && self.spill_active() {
+            let source = self.engine.locations(key).and_then(|l| l.first().copied());
+            let blob = source
+                .and_then(|id| self.platform.instance(id))
+                .and_then(|i| i.object(&key.object_key()).cloned());
+            if let (Some(blob), Some(spill)) = (blob, self.spill.as_mut()) {
+                spill.spill(key, blob.payload(), blob.logical_size());
+            }
+        } else if !spill_victim {
+            if let Some(spill) = self.spill.as_mut() {
+                spill.discard(key);
+            }
+        }
         if let Some(locations) = self.engine.remove(key) {
             for id in locations {
                 let _ = self.platform.evict_object(id, &key.object_key());
@@ -469,8 +614,10 @@ impl FlStore {
     /// handle) — the persistent copy remains the fallback. Returns whether
     /// the key was cached.
     pub fn evict(&mut self, key: &MetaKey) -> bool {
+        self.log_event(LedgerEvent::Evict { key });
         let was_cached = self.engine.contains(key);
-        self.evict_key(key);
+        self.remove_key(key, false);
+        self.seal_if_due();
         was_cached
     }
 
@@ -478,6 +625,7 @@ impl FlStore {
     /// persistent store, policy-driven hot classification into function
     /// memory, and obsolete-data eviction.
     pub fn ingest_round(&mut self, now: SimTime, record: &RoundRecord) -> IngestReceipt {
+        self.log_event(LedgerEvent::Ingest { now, record });
         self.advance(now);
         self.catalog.observe_round(record);
         let items = round_entries(record, self.catalog.job(), self.catalog.model());
@@ -529,12 +677,13 @@ impl FlStore {
         }
         let mut evicted = 0;
         for key in &actions.evict {
-            self.evict_key(key);
+            self.remove_key(key, false);
             evicted += 1;
         }
         // Seeding decoded handles may have grown residency past a strict
         // budget the blob-byte admission check could not foresee.
         self.enforce_strict_budget();
+        self.seal_if_due();
         IngestReceipt {
             cached,
             evicted,
@@ -557,6 +706,7 @@ impl FlStore {
         now: SimTime,
         request: &WorkloadRequest,
     ) -> Result<ServedRequest, FlStoreError> {
+        self.log_event(LedgerEvent::Serve { now, request });
         self.advance(now);
         let needs = self.catalog.data_needs(request);
         if needs.is_empty() {
@@ -570,6 +720,7 @@ impl FlStore {
         // Runs on the error exits too: a failed serve may still have grown
         // the decoded layer past a strict budget before it bailed.
         self.enforce_strict_budget();
+        self.seal_if_due();
         result
     }
 
@@ -595,6 +746,14 @@ impl FlStore {
         now: SimTime,
         requests: &[WorkloadRequest],
     ) -> Vec<Result<ServedRequest, FlStoreError>> {
+        // A batch of one logs the same record `serve` would: the Service
+        // contract makes singleton batches identical to single submits,
+        // and the ledger must not betray which path carried the envelope
+        // (the sequential-vs-threaded byte-diff gate covers ledger files).
+        match requests {
+            [request] => self.log_event(LedgerEvent::Serve { now, request }),
+            _ => self.log_event(LedgerEvent::ServeBatch { now, requests }),
+        }
         self.advance(now);
         // Resolve data needs once per distinct request shape: `data_needs`
         // is a pure function of the catalog, which no serve mutates, so
@@ -619,7 +778,7 @@ impl FlStore {
         let need_slices: Vec<&[MetaKey]> = needs.iter().map(|n| n.as_slice()).collect();
         let referenced = self.referenced_functions(need_slices.iter().copied());
         let recovered = self.liveness_pass(now, &referenced, &need_slices);
-        requests
+        let results = requests
             .iter()
             .zip(&needs)
             .zip(recovered)
@@ -636,7 +795,9 @@ impl FlStore {
                     result
                 }
             })
-            .collect()
+            .collect();
+        self.seal_if_due();
+        results
     }
 
     /// Every function referenced by any of the given key sets, sorted and
@@ -795,15 +956,46 @@ impl FlStore {
                 NetworkProfile::INTRA_CLOUD.batch_transfer_time(gather_items, gather_bytes, 8);
         }
 
-        // Misses: batch-fetch from the persistent store (caching them may
-        // evict under capacity pressure, which is why hits were read above).
+        // Misses: the cold tier first — previously spilled victims fault
+        // back from local disk (no object-store round trip, no request
+        // fee) — then one batch fetch from the persistent store for the
+        // rest (caching them may evict under capacity pressure, which is
+        // why hits were read above).
         if !miss_keys.is_empty() {
-            let okeys: Vec<_> = miss_keys.iter().map(|k| k.object_key()).collect();
-            let (blobs, receipt) = self.persistent.get_many(now, &okeys)?;
-            latency.communication += receipt.latency;
-            cost += receipt.cost;
+            let mut blobs_of: HashMap<MetaKey, Blob> = HashMap::new();
+            let mut from_spill: Vec<MetaKey> = Vec::new();
+            if self.spill_active() {
+                let spill = self.spill.as_mut().expect("spill_active checked");
+                for key in &miss_keys {
+                    if let Some((payload, logical)) = spill.fetch(key) {
+                        blobs_of.insert(*key, Blob::with_payload(payload.into(), logical));
+                        from_spill.push(*key);
+                    }
+                }
+                for _ in &from_spill {
+                    latency.communication += self.cfg.durability.spill_read_latency;
+                }
+                self.spill_faults += from_spill.len() as u64;
+            }
+            let pending: Vec<MetaKey> = miss_keys
+                .iter()
+                .filter(|k| !blobs_of.contains_key(k))
+                .copied()
+                .collect();
+            if !pending.is_empty() {
+                let okeys: Vec<_> = pending.iter().map(|k| k.object_key()).collect();
+                let (blobs, receipt) = self.persistent.get_many(now, &okeys)?;
+                latency.communication += receipt.latency;
+                cost += receipt.cost;
+                for (key, blob) in pending.iter().zip(blobs) {
+                    blobs_of.insert(*key, blob);
+                }
+            }
             let cache_miss = self.policy.cache_on_miss();
-            for (key, blob) in miss_keys.iter().zip(blobs) {
+            for key in &miss_keys {
+                let blob = blobs_of
+                    .remove(key)
+                    .expect("every miss key was faulted or fetched");
                 let admitted = cache_miss && self.quota_admits(blob.logical_size());
                 if admitted {
                     self.cache_object(now, *key, blob.clone(), now);
@@ -814,11 +1006,19 @@ impl FlStore {
                     if let Some(v) = self.engine.decoded_mut().get_or_decode(key, &blob) {
                         values.push(v);
                     }
-                } else if let Some(v) = MetaValue::decode_shared(&blob) {
+                } else {
                     // Not cached (policy, capacity, or strict quota): the
                     // miss path re-parses per access, exactly like a
-                    // conventional framework.
-                    values.push(v);
+                    // conventional framework. A faulted-but-refused object
+                    // returns to the cold tier so the next miss stays cheap.
+                    if from_spill.contains(key) {
+                        if let Some(spill) = self.spill.as_mut() {
+                            spill.spill(key, blob.payload(), blob.logical_size());
+                        }
+                    }
+                    if let Some(v) = MetaValue::decode_shared(&blob) {
+                        values.push(v);
+                    }
                 }
             }
         }
@@ -857,7 +1057,7 @@ impl FlStore {
             }
         }
         for key in &actions.evict {
-            self.evict_key(key);
+            self.remove_key(key, false);
         }
         // Strict-budget re-enforcement happens in the callers (serve /
         // serve_batch), so it also covers the error exits above.

@@ -8,6 +8,11 @@
 //! deployments must be bit-for-bit identical to sequential submission —
 //! responses, ledgers, window costs, and cache fingerprints.
 //!
+//! And for the *durability* plane: a deployment killed at an arbitrary
+//! point in the mix and recovered from its write-ahead ledger must serve
+//! the remaining envelopes exactly as the uninterrupted run would, at
+//! every shard count.
+//!
 //! Deployments run with reclamation disabled (the figure-generation
 //! setup): batching is *defined* to share one liveness pass across a
 //! batch, so under fault injection a batch may attribute one fault to
@@ -414,6 +419,99 @@ fn assert_strict_quota_bounded_and_confined(seed: u64, len: usize, budget_rounds
     );
 }
 
+/// Recovery equivalence: run an arbitrary envelope mix up to a random
+/// cut point on a durable deployment (every record flushed, snapshots
+/// sealing mid-run), kill it there, `recover` from the ledger, and serve
+/// the remaining envelopes — on the recovered store directly and wrapped
+/// in a sharded executor at every shard count. Responses, ledger
+/// outcomes, window costs, and the cache fingerprint must all equal an
+/// uninterrupted non-durable run of the full mix.
+fn assert_recovered_store_equals_uninterrupted(seed: u64, len: usize, cut: usize) {
+    let (mut reference, records) = loaded_store(false);
+    let mix = request_mix(seed, len, &records);
+    let cut = cut % (mix.len() + 1);
+    let now = SimTime::from_secs(7200);
+    let reference_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| reference.submit(now, r.clone()))
+        .collect();
+    let reference_cost = reference.total_cost(now);
+
+    for shards in [1usize, 2, 4] {
+        // One durable life per shard count: recovery appends to the same
+        // active ledger, so each run needs its own directory.
+        let dir = flstore_durability::testkit::DetTempDir::new(
+            "api-batch-recovery",
+            seed ^ ((len as u64) << 40) ^ ((cut as u64) << 48) ^ ((shards as u64) << 56),
+        );
+        let job = job_config();
+        let cfg = FlStoreConfig {
+            platform: PlatformConfig {
+                reclaim: ReclaimModel::DISABLED,
+                ..PlatformConfig::default()
+            },
+            durability: flstore_core::durable::DurabilityConfig {
+                flush_every: 1,
+                snapshot_every: 8,
+                ..flstore_core::durable::DurabilityConfig::DISABLED
+            },
+            ..FlStoreConfig::for_model(&job.model)
+        };
+        let mut durable = FlStore::new(cfg, Box::new(TailoredPolicy::new()), job.job, job.model);
+        flstore_durability::recover::attach(&mut durable, dir.path()).expect("attach");
+        let mut at = SimTime::ZERO;
+        for r in &records[..records.len() - 1] {
+            durable.ingest_round(at, r);
+            at += SimDuration::from_secs(60);
+        }
+        for (request, expected) in mix[..cut].iter().zip(&reference_responses) {
+            let response = durable.submit(now, request.clone());
+            assert_eq!(&response, expected, "pre-kill responses @{shards} shards");
+        }
+        drop(durable); // the kill: every record is already flushed
+
+        let recovered = flstore_durability::recover::recover(dir.path()).expect("recover");
+        let (responses, store) = if shards > 1 {
+            let mut exec = ShardedExecutor::new(vec![recovered], shards);
+            let responses = exec.submit_batch(now, &mix[cut..]);
+            (responses, exec.into_units().pop().expect("unit returned"))
+        } else {
+            let mut recovered = recovered;
+            let responses: Vec<Response> = mix[cut..]
+                .iter()
+                .map(|r| recovered.submit(now, r.clone()))
+                .collect();
+            (responses, recovered)
+        };
+        assert_eq!(
+            responses,
+            reference_responses[cut..],
+            "post-recovery responses @{shards} shards"
+        );
+        assert_eq!(
+            store.ledger().outcomes,
+            reference.ledger().outcomes,
+            "ledger @{shards} shards"
+        );
+        assert_eq!(
+            store.ledger().background_cost,
+            reference.ledger().background_cost,
+            "background costs @{shards} shards"
+        );
+        let mut store = store;
+        assert_eq!(
+            store.total_cost(now),
+            reference_cost,
+            "window costs @{shards} shards"
+        );
+        assert_eq!(
+            cache_fingerprint(&store),
+            cache_fingerprint(&reference),
+            "cache state @{shards} shards"
+        );
+    }
+}
+
 /// Elastic pressure determinism: two identically-loaded fronts must shed
 /// the exact same `(job, key)` victim sequence from their pressure passes
 /// interleaved with the same traffic.
@@ -485,5 +583,10 @@ proptest! {
     #[test]
     fn elastic_pressure_is_deterministic(seed in 0u64..1_000_000, len in 1usize..12) {
         assert_elastic_pressure_deterministic(seed, len);
+    }
+
+    #[test]
+    fn recovered_store_equals_uninterrupted(seed in 0u64..1_000_000, len in 1usize..10, cut in 0usize..16) {
+        assert_recovered_store_equals_uninterrupted(seed, len, cut);
     }
 }

@@ -1,0 +1,73 @@
+//! Ledger tooling.
+//!
+//! ```text
+//! flstore-durability --list-records
+//! flstore-durability dump <ledger-or-segment-file>
+//! ```
+
+use std::process::ExitCode;
+
+use flstore_durability::records::{parse_ledger, LedgerRecord, RECORDS};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: flstore-durability --list-records\n       flstore-durability dump <ledger-file>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-records") {
+        // Machine-readable record inventory, tab-separated: tag byte,
+        // name, payload layout, summary. docs/LEDGER.md's tag table is
+        // diffed against this output in CI.
+        for (tag, name, payload, summary) in RECORDS {
+            println!("0x{tag:02x}\t{name}\t{payload}\t{summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("dump") {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match parse_ledger(&bytes) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (i, record) in parsed.records.iter().enumerate() {
+            let line = match record {
+                LedgerRecord::Ingest { now, record } => {
+                    format!("Ingest\tt={now:?}\tround={}", record.round)
+                }
+                LedgerRecord::Serve { now, request } => {
+                    format!("Serve\tt={now:?}\tid={:?}", request.id)
+                }
+                LedgerRecord::ServeBatch { now, requests } => {
+                    format!("ServeBatch\tt={now:?}\tlen={}", requests.len())
+                }
+                LedgerRecord::Evict { key } => format!("Evict\t{key}"),
+                LedgerRecord::Reclaim { need } => format!("Reclaim\tneed={need}"),
+                LedgerRecord::Digest(d) => {
+                    format!("Digest\trows={}\tserved={}", d.rows.len(), d.served)
+                }
+            };
+            println!("{i}\t{line}");
+        }
+        if let Some(offset) = parsed.torn {
+            println!("# torn tail after byte {offset}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    usage()
+}

@@ -1,0 +1,208 @@
+//! The disk-backed write-ahead sink: group commit and segment sealing.
+//!
+//! One [`DiskLedgerSink`] serves one `FlStore` deployment (one tenant
+//! directory). The sharded executor hands whole deployments to worker
+//! threads by ownership transfer, so each worker-owned shard carries its
+//! own sink — one writer per shard, no shared locks anywhere near the
+//! serve path.
+//!
+//! Layout inside a tenant directory:
+//!
+//! ```text
+//! MANIFEST              deployment identity + config (json, written once)
+//! segment-000000.log    sealed replay segments, oldest first; each ends
+//! segment-000001.log    with a Digest record fingerprinting the state
+//! ledger.log            the active tail; may end torn after a crash
+//! spill/                the cold tier (when spill is enabled)
+//! ```
+//!
+//! Sealing is AOF-rewrite style: the active file gains a final `Digest`
+//! record, is fsynced, renamed to the next `segment-NNNNNN.log`, and a
+//! fresh `ledger.log` is opened. Recovery replays segments in name order,
+//! verifying each digest, then the active tail, tolerating a torn final
+//! record there and only there.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use flstore_core::durable::{DurabilityConfig, LedgerEvent, RecordSink, StateDigest};
+
+use crate::records::{encode_event, encode_record, header, LedgerRecord};
+
+/// Name of the active ledger file inside a tenant directory.
+pub const ACTIVE_LEDGER: &str = "ledger.log";
+
+/// Formats the name of sealed segment `index`.
+pub fn segment_name(index: u32) -> String {
+    format!("segment-{index:06}.log")
+}
+
+/// Where a sink's bytes go: a real file (or a fault-injecting stand-in
+/// for kill-point tests). `sync` is the durability barrier — for files,
+/// `File::sync_data`.
+pub trait LedgerMedium: Write + Send + fmt::Debug {
+    /// Flushes OS buffers to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl LedgerMedium for File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// The write-ahead sink a durable `FlStore` appends to.
+#[derive(Debug)]
+pub struct DiskLedgerSink {
+    dir: PathBuf,
+    medium: Option<Box<dyn LedgerMedium>>,
+    cfg: DurabilityConfig,
+    /// Records appended to the active file since its header (or since
+    /// recovery counted them).
+    active_records: u32,
+    /// Records appended since the last flush+sync.
+    unflushed: u32,
+    /// Index the next sealed segment will take.
+    next_segment: u32,
+    /// Whether the medium is the real `ledger.log` (seals rename it). An
+    /// injected medium cannot be sealed.
+    real_file: bool,
+}
+
+fn create_active(dir: &Path) -> io::Result<File> {
+    let mut file = File::create(dir.join(ACTIVE_LEDGER))?;
+    file.write_all(&header())?;
+    file.sync_data()?;
+    Ok(file)
+}
+
+impl DiskLedgerSink {
+    /// Creates a fresh sink in `dir` (which must exist), writing a new
+    /// empty `ledger.log`.
+    pub fn create(dir: &Path, cfg: DurabilityConfig) -> io::Result<Self> {
+        let file = create_active(dir)?;
+        Ok(DiskLedgerSink {
+            dir: dir.to_path_buf(),
+            medium: Some(Box::new(file)),
+            cfg,
+            active_records: 0,
+            unflushed: 0,
+            next_segment: 0,
+            real_file: true,
+        })
+    }
+
+    /// Reopens the active ledger of a recovered deployment in append
+    /// mode. `active_records` is how many records recovery found intact
+    /// in it; `next_segment` is one past the highest sealed segment.
+    pub fn append_existing(
+        dir: &Path,
+        cfg: DurabilityConfig,
+        active_records: u32,
+        next_segment: u32,
+    ) -> io::Result<Self> {
+        let path = dir.join(ACTIVE_LEDGER);
+        let file = if path.exists() {
+            OpenOptions::new().append(true).open(&path)?
+        } else {
+            create_active(dir)?
+        };
+        Ok(DiskLedgerSink {
+            dir: dir.to_path_buf(),
+            medium: Some(Box::new(file)),
+            cfg,
+            active_records,
+            unflushed: 0,
+            next_segment,
+            real_file: true,
+        })
+    }
+
+    /// A sink writing through an injected medium (fault injection for
+    /// kill-point tests). The caller owns writing the 5-byte header into
+    /// the medium's backing store beforehand; sealing is disabled.
+    pub fn with_medium(dir: &Path, cfg: DurabilityConfig, medium: Box<dyn LedgerMedium>) -> Self {
+        DiskLedgerSink {
+            dir: dir.to_path_buf(),
+            medium: Some(medium),
+            cfg,
+            active_records: 0,
+            unflushed: 0,
+            next_segment: 0,
+            real_file: false,
+        }
+    }
+
+    /// The tenant directory this sink writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        let medium = self.medium.as_mut().expect("sink medium present");
+        medium
+            .write_all(bytes)
+            .expect("ledger append failed: write-ahead log is unavailable");
+        self.active_records += 1;
+        self.unflushed += 1;
+        if self.unflushed >= self.cfg.flush_every.max(1) {
+            self.flush_now();
+        }
+    }
+
+    fn flush_now(&mut self) {
+        if self.unflushed == 0 {
+            return;
+        }
+        let medium = self.medium.as_mut().expect("sink medium present");
+        medium.flush().expect("ledger flush failed");
+        medium.sync().expect("ledger fsync failed");
+        self.unflushed = 0;
+    }
+}
+
+impl RecordSink for DiskLedgerSink {
+    fn append(&mut self, event: LedgerEvent<'_>) {
+        let bytes = encode_event(&event);
+        self.write_bytes(&bytes);
+    }
+
+    fn should_seal(&self) -> bool {
+        self.real_file
+            && self.cfg.snapshot_every > 0
+            && self.active_records >= self.cfg.snapshot_every
+    }
+
+    fn seal(&mut self, digest: &StateDigest) {
+        let bytes = encode_record(&LedgerRecord::Digest(digest.clone()));
+        self.write_bytes(&bytes);
+        self.flush_now();
+        if !self.real_file {
+            return;
+        }
+        // Close the active file before renaming it into the segment
+        // sequence, then start a fresh tail.
+        drop(self.medium.take());
+        let sealed = self.dir.join(segment_name(self.next_segment));
+        std::fs::rename(self.dir.join(ACTIVE_LEDGER), &sealed).expect("segment seal rename failed");
+        self.next_segment += 1;
+        let file = create_active(&self.dir).expect("fresh ledger after seal");
+        self.medium = Some(Box::new(file));
+        self.active_records = 0;
+        self.unflushed = 0;
+    }
+
+    fn flush(&mut self) {
+        self.flush_now();
+    }
+}
+
+impl Drop for DiskLedgerSink {
+    fn drop(&mut self) {
+        if self.medium.is_some() {
+            self.flush_now();
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! On-disk ledger record format (docs/LEDGER.md).
+//!
+//! A ledger file is a 5-byte header (`"FLSL"` magic + version byte)
+//! followed by length-prefixed records in the same varint/framing
+//! discipline as the wire protocol (docs/WIRE.md):
+//!
+//! ```text
+//! [tag u8][payload-len varint LEB128][payload bytes]
+//! ```
+//!
+//! Record payloads mix varints (times, byte counts) with canonical JSON
+//! (structured values), because the vendored `serde_json` round-trips
+//! every `f64` exactly — the property the store's bit-identical recovery
+//! depends on.
+//!
+//! The decoder is **total**: every byte sequence either parses, stops
+//! cleanly at a torn tail (a crash mid-append), or returns a typed
+//! [`LedgerError`]. It never panics and never reads past a declared
+//! length.
+
+use std::fmt;
+
+use flstore_core::durable::{LedgerEvent, StateDigest};
+use flstore_fl::job::RoundRecord;
+use flstore_fl::metadata::MetaKey;
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+use flstore_workloads::request::WorkloadRequest;
+
+/// Ledger file magic: the first four bytes of every ledger/segment file.
+pub const LEDGER_MAGIC: [u8; 4] = *b"FLSL";
+
+/// Current on-disk format version (the fifth header byte).
+pub const LEDGER_VERSION: u8 = 1;
+
+/// Upper bound on one record's payload, mirroring the wire protocol's
+/// frame bound: a declared length past this is corruption, not a large
+/// record.
+pub const MAX_RECORD_LEN: u64 = 64 * 1024 * 1024;
+
+/// `Ingest` record tag.
+pub const TAG_INGEST: u8 = 0x01;
+/// `Serve` record tag.
+pub const TAG_SERVE: u8 = 0x02;
+/// `ServeBatch` record tag.
+pub const TAG_SERVE_BATCH: u8 = 0x03;
+/// `Evict` record tag.
+pub const TAG_EVICT: u8 = 0x04;
+/// `Reclaim` record tag.
+pub const TAG_RECLAIM: u8 = 0x05;
+/// `Digest` (segment seal) record tag.
+pub const TAG_DIGEST: u8 = 0x06;
+
+/// The record inventory: `(tag, name, payload layout, summary)`.
+///
+/// `flstore-durability --list-records` prints this table tab-separated;
+/// docs/LEDGER.md's tag table is diffed against that output in CI
+/// (`scripts/check_ledger_doc.sh`).
+pub const RECORDS: &[(u8, &str, &str, &str)] = &[
+    (
+        TAG_INGEST,
+        "Ingest",
+        "[time varint][json RoundRecord]",
+        "one ingested training round",
+    ),
+    (
+        TAG_SERVE,
+        "Serve",
+        "[time varint][json WorkloadRequest]",
+        "one served request (serves mutate cache state)",
+    ),
+    (
+        TAG_SERVE_BATCH,
+        "ServeBatch",
+        "[time varint][json WorkloadRequest list]",
+        "one served batch, preserving the exact batch shape",
+    ),
+    (
+        TAG_EVICT,
+        "Evict",
+        "[json MetaKey]",
+        "an explicit eviction envelope",
+    ),
+    (
+        TAG_RECLAIM,
+        "Reclaim",
+        "[need varint]",
+        "an external reclamation request (pressure plane)",
+    ),
+    (
+        TAG_DIGEST,
+        "Digest",
+        "[json StateDigest]",
+        "segment seal: the state fingerprint replay must reach",
+    ),
+];
+
+/// One decoded ledger record, owning its data (the borrowed counterpart
+/// is [`LedgerEvent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerRecord {
+    /// An ingested round.
+    Ingest {
+        /// Ingest time.
+        now: SimTime,
+        /// The round.
+        record: RoundRecord,
+    },
+    /// A served request.
+    Serve {
+        /// Serve time.
+        now: SimTime,
+        /// The request.
+        request: WorkloadRequest,
+    },
+    /// A served batch.
+    ServeBatch {
+        /// Batch serve time.
+        now: SimTime,
+        /// The batch, in order.
+        requests: Vec<WorkloadRequest>,
+    },
+    /// An explicit eviction.
+    Evict {
+        /// The evicted key.
+        key: MetaKey,
+    },
+    /// An external reclamation.
+    Reclaim {
+        /// Bytes requested.
+        need: ByteSize,
+    },
+    /// A segment seal fingerprint.
+    Digest(StateDigest),
+}
+
+/// A typed ledger failure. [`LedgerError::TornTail`] is special: it marks
+/// a crash mid-append and is *tolerated* in the final file of a recovery
+/// (the records before it are intact); every other variant is hard
+/// corruption.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// The file is shorter than the 5-byte header or does not start with
+    /// the `FLSL` magic.
+    BadMagic,
+    /// The header's version byte is not [`LEDGER_VERSION`].
+    BadVersion(u8),
+    /// The file ended inside a record (torn write). `offset` is the start
+    /// of the torn record — the last valid boundary.
+    TornTail {
+        /// Byte offset of the last intact record boundary.
+        offset: usize,
+    },
+    /// A declared payload length exceeded [`MAX_RECORD_LEN`].
+    Oversized {
+        /// The declared length.
+        declared: u64,
+        /// Offset of the offending record.
+        offset: usize,
+    },
+    /// A record tag not in [`RECORDS`].
+    UnknownTag {
+        /// The tag byte.
+        tag: u8,
+        /// Offset of the offending record.
+        offset: usize,
+    },
+    /// A length varint ran past 10 bytes.
+    VarintOverflow {
+        /// Offset of the offending record.
+        offset: usize,
+    },
+    /// A complete payload failed to decode (bad JSON, trailing bytes).
+    Corrupt {
+        /// Offset of the offending record.
+        offset: usize,
+        /// What failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::BadMagic => write!(f, "not a ledger file (bad magic)"),
+            LedgerError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported ledger version {v} (expected {LEDGER_VERSION})"
+                )
+            }
+            LedgerError::TornTail { offset } => {
+                write!(f, "torn record tail after byte {offset}")
+            }
+            LedgerError::Oversized { declared, offset } => write!(
+                f,
+                "record at byte {offset} declares {declared} bytes (max {MAX_RECORD_LEN})"
+            ),
+            LedgerError::UnknownTag { tag, offset } => {
+                write!(f, "unknown record tag {tag:#04x} at byte {offset}")
+            }
+            LedgerError::VarintOverflow { offset } => {
+                write!(f, "length varint wider than 10 bytes at byte {offset}")
+            }
+            LedgerError::Corrupt { offset, what } => {
+                write!(f, "corrupt record at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The 5-byte file header every ledger/segment file starts with.
+pub fn header() -> [u8; 5] {
+    let mut h = [0u8; 5];
+    h[..4].copy_from_slice(&LEDGER_MAGIC);
+    h[4] = LEDGER_VERSION;
+    h
+}
+
+/// Appends `v` LEB128-encoded (the wire protocol's varint).
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn frame(tag: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 6);
+    out.push(tag);
+    put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn json<T: serde::Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_vec(value).expect("ledger payloads serialize infallibly")
+}
+
+/// Encodes one borrowed store event as a complete record
+/// (`[tag][len][payload]`).
+pub fn encode_event(event: &LedgerEvent<'_>) -> Vec<u8> {
+    match event {
+        LedgerEvent::Ingest { now, record } => {
+            let mut payload = Vec::new();
+            put_varint(&mut payload, now.as_micros());
+            payload.extend_from_slice(&json(record));
+            frame(TAG_INGEST, payload)
+        }
+        LedgerEvent::Serve { now, request } => {
+            let mut payload = Vec::new();
+            put_varint(&mut payload, now.as_micros());
+            payload.extend_from_slice(&json(request));
+            frame(TAG_SERVE, payload)
+        }
+        LedgerEvent::ServeBatch { now, requests } => {
+            let mut payload = Vec::new();
+            put_varint(&mut payload, now.as_micros());
+            payload.extend_from_slice(&json(&requests.to_vec()));
+            frame(TAG_SERVE_BATCH, payload)
+        }
+        LedgerEvent::Evict { key } => frame(TAG_EVICT, json(key)),
+        LedgerEvent::Reclaim { need } => {
+            let mut payload = Vec::new();
+            put_varint(&mut payload, need.as_bytes());
+            frame(TAG_RECLAIM, payload)
+        }
+    }
+}
+
+/// Encodes one owned record (used for [`LedgerRecord::Digest`] seals and
+/// round-trip tests).
+pub fn encode_record(record: &LedgerRecord) -> Vec<u8> {
+    match record {
+        LedgerRecord::Ingest { now, record } => {
+            encode_event(&LedgerEvent::Ingest { now: *now, record })
+        }
+        LedgerRecord::Serve { now, request } => {
+            encode_event(&LedgerEvent::Serve { now: *now, request })
+        }
+        LedgerRecord::ServeBatch { now, requests } => encode_event(&LedgerEvent::ServeBatch {
+            now: *now,
+            requests,
+        }),
+        LedgerRecord::Evict { key } => encode_event(&LedgerEvent::Evict { key }),
+        LedgerRecord::Reclaim { need } => encode_event(&LedgerEvent::Reclaim { need: *need }),
+        LedgerRecord::Digest(digest) => frame(TAG_DIGEST, json(digest)),
+    }
+}
+
+/// The parse of one ledger file: every intact record, the byte offsets of
+/// the record boundaries, and whether the file ended cleanly or torn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLedger {
+    /// Every complete record, in file order.
+    pub records: Vec<LedgerRecord>,
+    /// Byte offsets of record boundaries: the header end, then the end of
+    /// each complete record. A crash (truncation) at any of these offsets
+    /// loses only the records after it.
+    pub boundaries: Vec<usize>,
+    /// `Some(offset)` if the file ends inside a record (crash mid-append);
+    /// `offset` is the last intact boundary.
+    pub torn: Option<usize>,
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+enum VarintRead {
+    Value(u64),
+    Eof,
+    Overflow,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = self.buf.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn varint(&mut self) -> VarintRead {
+        let mut value: u64 = 0;
+        for i in 0..10 {
+            let Some(byte) = self.u8() else {
+                return VarintRead::Eof;
+            };
+            let bits = u64::from(byte & 0x7f);
+            // The 10th byte may only carry the u64's single remaining bit.
+            if i == 9 && bits > 1 {
+                return VarintRead::Overflow;
+            }
+            value |= bits << (7 * i);
+            if byte & 0x80 == 0 {
+                return VarintRead::Value(value);
+            }
+        }
+        VarintRead::Overflow
+    }
+}
+
+fn decode_payload(tag: u8, payload: &[u8], offset: usize) -> Result<LedgerRecord, LedgerError> {
+    let corrupt = |what: &str| LedgerError::Corrupt {
+        offset,
+        what: what.to_string(),
+    };
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    match tag {
+        TAG_INGEST | TAG_SERVE | TAG_SERVE_BATCH => {
+            let micros = match cur.varint() {
+                VarintRead::Value(v) => v,
+                VarintRead::Eof => return Err(corrupt("payload ends inside the time varint")),
+                VarintRead::Overflow => return Err(LedgerError::VarintOverflow { offset }),
+            };
+            let now = SimTime::from_micros(micros);
+            let rest = &payload[cur.pos..];
+            match tag {
+                TAG_INGEST => serde_json::from_slice::<RoundRecord>(rest)
+                    .map(|record| LedgerRecord::Ingest { now, record })
+                    .map_err(|e| corrupt(&format!("RoundRecord json: {e:?}"))),
+                TAG_SERVE => serde_json::from_slice::<WorkloadRequest>(rest)
+                    .map(|request| LedgerRecord::Serve { now, request })
+                    .map_err(|e| corrupt(&format!("WorkloadRequest json: {e:?}"))),
+                _ => serde_json::from_slice::<Vec<WorkloadRequest>>(rest)
+                    .map(|requests| LedgerRecord::ServeBatch { now, requests })
+                    .map_err(|e| corrupt(&format!("WorkloadRequest list json: {e:?}"))),
+            }
+        }
+        TAG_EVICT => serde_json::from_slice::<MetaKey>(payload)
+            .map(|key| LedgerRecord::Evict { key })
+            .map_err(|e| corrupt(&format!("MetaKey json: {e:?}"))),
+        TAG_RECLAIM => match cur.varint() {
+            VarintRead::Value(v) => {
+                if cur.pos != payload.len() {
+                    return Err(corrupt("trailing bytes after the need varint"));
+                }
+                Ok(LedgerRecord::Reclaim {
+                    need: ByteSize::from_bytes(v),
+                })
+            }
+            VarintRead::Eof => Err(corrupt("payload ends inside the need varint")),
+            VarintRead::Overflow => Err(LedgerError::VarintOverflow { offset }),
+        },
+        TAG_DIGEST => serde_json::from_slice::<StateDigest>(payload)
+            .map(LedgerRecord::Digest)
+            .map_err(|e| corrupt(&format!("StateDigest json: {e:?}"))),
+        other => Err(LedgerError::UnknownTag { tag: other, offset }),
+    }
+}
+
+/// Parses one ledger file's bytes. Total: returns every intact record and
+/// classifies how the file ends. Hard corruption (bad magic, unknown tag,
+/// oversized or undecodable record) is an error; a torn tail is reported
+/// in [`ParsedLedger::torn`], not an error — the *caller* decides whether
+/// a torn tail is acceptable (it is only in the final, active file).
+pub fn parse_ledger(bytes: &[u8]) -> Result<ParsedLedger, LedgerError> {
+    if bytes.len() < 5 || bytes[..4] != LEDGER_MAGIC {
+        return Err(LedgerError::BadMagic);
+    }
+    if bytes[4] != LEDGER_VERSION {
+        return Err(LedgerError::BadVersion(bytes[4]));
+    }
+    let mut cur = Cursor { buf: bytes, pos: 5 };
+    let mut records = Vec::new();
+    let mut boundaries = vec![5usize];
+    let mut torn = None;
+    loop {
+        let record_start = cur.pos;
+        let Some(tag) = cur.u8() else {
+            break; // clean end at a record boundary
+        };
+        let len = match cur.varint() {
+            VarintRead::Value(v) => v,
+            VarintRead::Eof => {
+                torn = Some(record_start);
+                break;
+            }
+            VarintRead::Overflow => {
+                return Err(LedgerError::VarintOverflow {
+                    offset: record_start,
+                })
+            }
+        };
+        if len > MAX_RECORD_LEN {
+            return Err(LedgerError::Oversized {
+                declared: len,
+                offset: record_start,
+            });
+        }
+        let len = len as usize;
+        if cur.buf.len() - cur.pos < len {
+            torn = Some(record_start);
+            break;
+        }
+        let payload = &cur.buf[cur.pos..cur.pos + len];
+        cur.pos += len;
+        records.push(decode_payload(tag, payload, record_start)?);
+        boundaries.push(cur.pos);
+    }
+    Ok(ParsedLedger {
+        records,
+        boundaries,
+        torn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flstore_fl::ids::{JobId, Round};
+    use flstore_fl::job::{FlJobConfig, FlJobSim};
+    use flstore_workloads::request::RequestId;
+    use flstore_workloads::taxonomy::WorkloadKind;
+
+    fn sample_records() -> Vec<LedgerRecord> {
+        let job = FlJobConfig::quick_test(JobId::new(3));
+        let round = FlJobSim::new(job).next().expect("one round");
+        let request = WorkloadRequest::new(
+            RequestId::new(9),
+            WorkloadKind::Inference,
+            JobId::new(3),
+            round.round,
+            None,
+        );
+        vec![
+            LedgerRecord::Ingest {
+                now: SimTime::from_micros(1_000_000),
+                record: round,
+            },
+            LedgerRecord::Serve {
+                now: SimTime::from_micros(2_000_000),
+                request,
+            },
+            LedgerRecord::ServeBatch {
+                now: SimTime::from_micros(3_000_000),
+                requests: vec![request, request],
+            },
+            LedgerRecord::Evict {
+                key: MetaKey::aggregate(JobId::new(3), Round::new(1)),
+            },
+            LedgerRecord::Reclaim {
+                need: ByteSize::from_mb(12),
+            },
+            LedgerRecord::Digest(StateDigest {
+                rows: vec!["k size=1".to_string()],
+                resident: ByteSize::from_mb(1),
+                served: 3,
+                faults: 1,
+                background_cost: Default::default(),
+            }),
+        ]
+    }
+
+    fn ledger_of(records: &[LedgerRecord]) -> Vec<u8> {
+        let mut bytes = header().to_vec();
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let records = sample_records();
+        let bytes = ledger_of(&records);
+        let parsed = parse_ledger(&bytes).unwrap();
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.torn, None);
+        assert_eq!(parsed.boundaries.len(), records.len() + 1);
+        assert_eq!(*parsed.boundaries.last().unwrap(), bytes.len());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_classified() {
+        // Total decoder: any truncation either lands on a boundary (clean)
+        // or reports a torn tail at the last intact boundary — never a
+        // panic, never a hard error for a mere prefix.
+        let records = sample_records();
+        let bytes = ledger_of(&records);
+        let full = parse_ledger(&bytes).unwrap();
+        for cut in 5..bytes.len() {
+            let parsed = parse_ledger(&bytes[..cut]).unwrap();
+            let intact = full.boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(parsed.records, full.records[..intact], "cut at {cut}");
+            if full.boundaries.contains(&cut) {
+                assert_eq!(parsed.torn, None, "cut at {cut} is a boundary");
+            } else {
+                assert_eq!(parsed.torn, Some(full.boundaries[intact]), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert_eq!(parse_ledger(b""), Err(LedgerError::BadMagic));
+        assert_eq!(parse_ledger(b"FLS"), Err(LedgerError::BadMagic));
+        assert_eq!(parse_ledger(b"XXXX\x01"), Err(LedgerError::BadMagic));
+        assert_eq!(parse_ledger(b"FLSL\x02"), Err(LedgerError::BadVersion(2)));
+        assert!(parse_ledger(b"FLSL\x01").unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_is_hard_corruption() {
+        let mut bytes = header().to_vec();
+        bytes.extend_from_slice(&frame(0x7f, vec![1, 2, 3]));
+        assert_eq!(
+            parse_ledger(&bytes),
+            Err(LedgerError::UnknownTag {
+                tag: 0x7f,
+                offset: 5
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_hard_corruption() {
+        let mut bytes = header().to_vec();
+        bytes.push(TAG_RECLAIM);
+        put_varint(&mut bytes, MAX_RECORD_LEN + 1);
+        assert_eq!(
+            parse_ledger(&bytes),
+            Err(LedgerError::Oversized {
+                declared: MAX_RECORD_LEN + 1,
+                offset: 5
+            })
+        );
+    }
+
+    #[test]
+    fn runaway_length_varint_is_hard_corruption() {
+        let mut bytes = header().to_vec();
+        bytes.push(TAG_RECLAIM);
+        bytes.extend_from_slice(&[0xff; 10]);
+        assert_eq!(
+            parse_ledger(&bytes),
+            Err(LedgerError::VarintOverflow { offset: 5 })
+        );
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_hard_corruption() {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 42);
+        payload.push(0xAA); // junk after the need varint
+        let mut bytes = header().to_vec();
+        bytes.extend_from_slice(&frame(TAG_RECLAIM, payload));
+        assert!(matches!(
+            parse_ledger(&bytes),
+            Err(LedgerError::Corrupt { offset: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn record_table_matches_tags() {
+        let tags: Vec<u8> = RECORDS.iter().map(|(t, ..)| *t).collect();
+        assert_eq!(
+            tags,
+            vec![
+                TAG_INGEST,
+                TAG_SERVE,
+                TAG_SERVE_BATCH,
+                TAG_EVICT,
+                TAG_RECLAIM,
+                TAG_DIGEST
+            ]
+        );
+    }
+}

@@ -671,6 +671,9 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
             cache_misses: 0,
             hit_rate: 1.0,
             faults: 0,
+            spilled_objects: 0,
+            spilled_bytes: ByteSize::ZERO,
+            spill_faults: 0,
             quota: Vec::new(),
         };
         for (_, response) in per_unit {
@@ -681,6 +684,9 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
             report.cache_hits += stats.cache_hits;
             report.cache_misses += stats.cache_misses;
             report.faults += stats.faults;
+            report.spilled_objects += stats.spilled_objects;
+            report.spilled_bytes += stats.spilled_bytes;
+            report.spill_faults += stats.spill_faults;
             report.quota.extend(stats.quota);
         }
         let touched = report.cache_hits + report.cache_misses;

@@ -71,6 +71,18 @@ impl ModelArch {
         ModelArch::EFFICIENTNET_V2_S,
         ModelArch::SWIN_V2_TINY,
     ];
+
+    /// Looks an architecture up by its canonical name, across the
+    /// evaluation set and the Figure-19 zoo. Names are the durable
+    /// identity of a model on disk (ledger manifests record them), so
+    /// this is the inverse of `self.name`.
+    pub fn by_name(name: &str) -> Option<ModelArch> {
+        ModelArch::EVALUATION
+            .iter()
+            .chain(ZOO.iter())
+            .find(|m| m.name == name)
+            .copied()
+    }
 }
 
 /// The 23-model zoo of the paper's Figure 19.

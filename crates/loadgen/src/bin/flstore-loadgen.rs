@@ -7,6 +7,9 @@
 //! # Open-loop burst over 8 connections, writing the report to a file:
 //! flstore-loadgen --addr 127.0.0.1:4600 --mode burst --connections 8 \
 //!     --requests 400 --out results/loadgen.json
+//!
+//! # Paced open loop: fixed-interval arrivals at 500 requests/s:
+//! flstore-loadgen --addr 127.0.0.1:4600 --mode burst --rate 500 --requests 200
 //! ```
 //!
 //! The schedule replays the same synthetic trace
@@ -24,13 +27,13 @@ use std::io::Write as _;
 
 use flstore_fl::ids::JobId;
 use flstore_fl::job::FlJobConfig;
-use flstore_loadgen::{probe_connection_limit, run_closed, run_open_burst, LoadReport};
+use flstore_loadgen::{probe_connection_limit, run_closed, run_open_paced, LoadReport};
 use flstore_trace::driver::{materialize_schedule, TraceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: flstore-loadgen --addr HOST:PORT [--mode closed|burst|probe] \
-         [--requests N] [--seed N] [--window N] [--connections N] \
+         [--requests N] [--seed N] [--window N] [--connections N] [--rate N] \
          [--out FILE] [--expect-overload] [--expect-clean]"
     );
     std::process::exit(2);
@@ -51,6 +54,7 @@ fn main() {
     let mut seed = 7u64;
     let mut window = 16usize;
     let mut connections = 4usize;
+    let mut rate = 0u64;
     let mut out: Option<String> = None;
     let mut expect_overload = false;
     let mut expect_clean = false;
@@ -63,6 +67,7 @@ fn main() {
             "--seed" => seed = parse(&mut iter, "--seed"),
             "--window" => window = parse(&mut iter, "--window"),
             "--connections" => connections = parse(&mut iter, "--connections"),
+            "--rate" => rate = parse(&mut iter, "--rate"),
             "--out" => out = Some(parse::<String>(&mut iter, "--out")),
             "--expect-overload" => expect_overload = true,
             "--expect-clean" => expect_clean = true,
@@ -83,7 +88,9 @@ fn main() {
             eprintln!("connect {addr}: {e}");
             std::process::exit(1);
         }),
-        "burst" => run_open_burst(&addr, &schedule, connections),
+        // `--rate 0` (the default) is the unpaced burst; a nonzero rate
+        // paces arrivals at fixed intervals from the run start.
+        "burst" => run_open_paced(&addr, &schedule, connections, rate),
         "probe" => {
             let (served, overloaded, errors) = probe_connection_limit(&addr, connections);
             println!("probe: {served} served, {overloaded} overloaded, {errors} transport errors");

@@ -6,6 +6,10 @@
 //!
 //! # Serve a multi-job FLStore deployment:
 //! flstore-net serve --addr 127.0.0.1:0 --jobs 4 --threads 4
+//!
+//! # Serve durably: per-job write-ahead ledgers under DIR, recovered on
+//! # restart (a SIGKILL'd server picks up exactly where the ledger ends):
+//! flstore-net serve --data-dir DIR --flush-every 1 --spill
 //! ```
 //!
 //! `serve` prints `listening on <addr>` on stdout once bound (scripts
@@ -14,9 +18,13 @@
 
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
+
 use flstore_core::api::Service;
+use flstore_core::durable::DurabilityConfig;
 use flstore_core::policy::TailoredPolicy;
 use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_durability::recover::{attach, recover, MANIFEST};
 use flstore_exec::ShardedExecutor;
 use flstore_fl::ids::JobId;
 use flstore_fl::job::FlJobConfig;
@@ -27,7 +35,8 @@ use flstore_sim::time::SimDuration;
 fn usage() -> ! {
     eprintln!(
         "usage: flstore-net --list-frames\n       flstore-net serve [--addr HOST:PORT] \
-         [--jobs N] [--threads N] [--max-conns N] [--max-inflight N]"
+         [--jobs N] [--threads N] [--max-conns N] [--max-inflight N]\n       \
+         [--data-dir DIR] [--flush-every N] [--snapshot-every N] [--spill]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,8 @@ fn main() {
     let mut jobs = 1u32;
     let mut threads = 1usize;
     let mut config = ServerConfig::default();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut durability = DurabilityConfig::DISABLED;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -70,21 +81,64 @@ fn main() {
                 config.retry_after_hint =
                     SimDuration::from_micros(parse(&mut iter, "--retry-after-us"))
             }
+            "--data-dir" => data_dir = Some(parse(&mut iter, "--data-dir")),
+            "--flush-every" => durability.flush_every = parse(&mut iter, "--flush-every"),
+            "--snapshot-every" => durability.snapshot_every = parse(&mut iter, "--snapshot-every"),
+            "--spill" => durability.spill = true,
             _ => usage(),
         }
     }
 
-    let units: Vec<FlStore> = (1..=jobs.max(1))
-        .map(|j| {
-            let cfg = FlJobConfig::quick_test(JobId::new(j));
+    // Each shard owns its unit outright, so each unit gets its own ledger
+    // writer under `data-dir/job-<j>` — no lock is shared across shards.
+    // A directory with a manifest is an earlier life of this deployment:
+    // recover it (replay to the exact pre-crash state) instead of
+    // starting fresh.
+    let mut recovered = 0u32;
+    let mut units: Vec<FlStore> = Vec::with_capacity(jobs.max(1) as usize);
+    for j in 1..=jobs.max(1) {
+        let cfg = FlJobConfig::quick_test(JobId::new(j));
+        let fresh = |durability: DurabilityConfig| {
             FlStore::new(
-                FlStoreConfig::for_model(&cfg.model),
+                FlStoreConfig {
+                    durability,
+                    ..FlStoreConfig::for_model(&cfg.model)
+                },
                 Box::new(TailoredPolicy::new()),
                 cfg.job,
                 cfg.model,
             )
-        })
-        .collect();
+        };
+        let Some(root) = &data_dir else {
+            units.push(fresh(DurabilityConfig::DISABLED));
+            continue;
+        };
+        let dir = root.join(format!("job-{j}"));
+        if dir.join(MANIFEST).exists() {
+            // The manifest's config wins over this invocation's flags:
+            // replay must run under the config the ledger was written by.
+            recovered += 1;
+            units.push(recover(&dir).unwrap_or_else(|e| {
+                eprintln!("recover {}: {e}", dir.display());
+                std::process::exit(1);
+            }));
+        } else {
+            let mut store = fresh(durability);
+            attach(&mut store, &dir).unwrap_or_else(|e| {
+                eprintln!("attach {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            units.push(store);
+        }
+    }
+    if data_dir.is_some() {
+        // The engine clamp must not rewind past the pre-crash clock: seed
+        // it with the furthest any recovered unit has advanced.
+        for unit in &units {
+            config.initial_clock = config.initial_clock.max(unit.clock());
+        }
+        println!("durable: {recovered} job(s) recovered from ledger");
+    }
     let service: Box<dyn Service + Send> = if threads > 1 {
         Box::new(ShardedExecutor::new(units, threads))
     } else {

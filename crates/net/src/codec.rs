@@ -820,6 +820,9 @@ fn put_stats(buf: &mut Vec<u8>, s: &StatsReport) {
     put_varint(buf, s.cache_misses);
     put_f64(buf, s.hit_rate);
     put_varint(buf, s.faults);
+    put_varint(buf, s.spilled_objects);
+    put_byte_size(buf, s.spilled_bytes);
+    put_varint(buf, s.spill_faults);
     put_varint(buf, s.quota.len() as u64);
     for q in &s.quota {
         put_quota_usage(buf, q);
@@ -835,6 +838,9 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsReport, WireError> {
         cache_misses: r.varint()?,
         hit_rate: get_f64(r)?,
         faults: r.varint()?,
+        spilled_objects: r.varint()?,
+        spilled_bytes: get_byte_size(r)?,
+        spill_faults: r.varint()?,
         quota: get_vec(r, get_quota_usage)?,
     })
 }

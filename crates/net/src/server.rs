@@ -65,6 +65,11 @@ pub struct ServerConfig {
     /// by configuration (not load-derived) so rejection envelopes are
     /// byte-deterministic.
     pub retry_after_hint: SimDuration,
+    /// Where the engine's monotonically clamped virtual clock starts. A
+    /// recovered deployment seeds this with the replayed store's clock so
+    /// a restart cannot rewind time the pre-crash server had already
+    /// reached (docs/LEDGER.md §5).
+    pub initial_clock: SimTime,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             max_inflight: 4096,
             max_batch: 64,
             retry_after_hint: SimDuration::from_millis(1),
+            initial_clock: SimTime::ZERO,
         }
     }
 }
@@ -167,7 +173,8 @@ impl NetServer {
             .spawn({
                 let inflight = inflight.clone();
                 let max_batch = config.max_batch.max(1);
-                move || engine_loop(service, engine_rx, inflight, max_batch)
+                let initial_clock = config.initial_clock;
+                move || engine_loop(service, engine_rx, inflight, max_batch, initial_clock)
             })?;
 
         let accept = std::thread::Builder::new()
@@ -397,11 +404,14 @@ fn engine_loop(
     rx: mpsc::Receiver<Job>,
     inflight: Arc<AtomicUsize>,
     max_batch: usize,
+    initial_clock: SimTime,
 ) {
     // The virtual clock is clamped monotonic across envelopes: a stamp
     // arriving out of order (a slow connection racing a fast one) can
-    // never rewind the service's notion of time.
-    let mut clock = SimTime::ZERO;
+    // never rewind the service's notion of time. A recovered deployment
+    // starts the clamp at the replayed store's clock, so a restart is
+    // time-transparent too.
+    let mut clock = initial_clock;
     while let Ok(first) = rx.recv() {
         // Arrival-window batcher: drain whatever else has already
         // arrived, up to max_batch, without waiting.

@@ -367,6 +367,9 @@ impl Mill {
                     cache_misses: self.u() % (1 << 40),
                     hit_rate: self.pos_f64() / 1e6,
                     faults: self.u() % (1 << 20),
+                    spilled_objects: self.u() % (1 << 30),
+                    spilled_bytes: ByteSize::from_bytes(self.u() % (1 << 40)),
+                    spill_faults: self.u() % (1 << 30),
                     quota,
                 })
             }

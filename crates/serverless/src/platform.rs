@@ -27,7 +27,7 @@ use flstore_sim::time::{SimDuration, SimTime};
 use crate::function::{FunctionConfig, FunctionError, FunctionId, FunctionInstance, ReclaimCause};
 
 /// Forced-reclamation model: Pareto (heavy-tail) sandbox lifetimes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReclaimModel {
     /// Whether forced reclamation happens at all.
     pub enabled: bool,
@@ -35,6 +35,43 @@ pub struct ReclaimModel {
     pub min_lifetime_hours: f64,
     /// Pareto tail index; smaller = heavier tail = more long-lived outliers.
     pub alpha: f64,
+}
+
+// Hand-written (rather than derived) because `DISABLED` carries an
+// unbounded lifetime: JSON has no Infinity, so a non-finite
+// `min_lifetime_hours` is encoded as null and decoded back to infinity.
+impl Serialize for ReclaimModel {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("enabled".into(), self.enabled.to_value());
+        let lifetime = if self.min_lifetime_hours.is_finite() {
+            self.min_lifetime_hours.to_value()
+        } else {
+            serde::Value::Null
+        };
+        map.insert("min_lifetime_hours".into(), lifetime);
+        map.insert("alpha".into(), self.alpha.to_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for ReclaimModel {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::custom(format!("missing field {name}")))
+        };
+        let lifetime = match field("min_lifetime_hours")? {
+            serde::Value::Null => f64::INFINITY,
+            v => f64::from_value(v)?,
+        };
+        Ok(ReclaimModel {
+            enabled: bool::from_value(field("enabled")?)?,
+            min_lifetime_hours: lifetime,
+            alpha: f64::from_value(field("alpha")?)?,
+        })
+    }
 }
 
 impl ReclaimModel {
@@ -73,7 +110,7 @@ impl ReclaimModel {
 }
 
 /// Platform-wide configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlatformConfig {
     /// Billing rates.
     pub pricing: FunctionPricing,

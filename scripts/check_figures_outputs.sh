@@ -22,9 +22,11 @@ if [ -z "$expected" ]; then
 fi
 
 # Experiments the suite must never silently lose: the quota/pressure
-# sweep (tenancy) feeds the parallel-determinism gate, so deregistering
-# it would shrink coverage without any file going missing.
-for required in tenancy jobs overhead; do
+# sweep (tenancy) feeds the parallel-determinism gate, and the durability
+# drill is the only figures-level coverage of crash recovery and the
+# cold tier, so deregistering either would shrink coverage without any
+# file going missing.
+for required in tenancy jobs overhead durability; do
     if ! echo "$expected" | grep -qx "$required"; then
         echo "required experiment '$required' missing from figures -- --list" >&2
         exit 1

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Drift guard for the durability-ledger spec: the record-tag table in
+# docs/LEDGER.md (between the ledger-records:begin/end markers) must
+# match `flstore-durability --list-records` exactly — same tags, same
+# names, same payload layouts, same summaries, same order. A record
+# added, removed, or reworded in crates/durability/src/records.rs
+# without updating the spec (or vice versa) fails CI here.
+#
+# Usage: scripts/check_ledger_doc.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+actual="$(cargo run -q -p flstore-durability --bin flstore-durability -- --list-records)"
+
+# Extract the LEDGER.md table rows and reduce them to the same
+# tab-separated `0xNN<TAB>name<TAB>payload<TAB>summary` shape
+# --list-records emits.
+documented="$(
+    awk '/<!-- ledger-records:begin -->/{f=1; next} /<!-- ledger-records:end -->/{f=0} f' docs/LEDGER.md |
+        grep '^| `' |
+        sed -E 's/^\| `([^`]+)` \| ([^|]+) \| ([^|]+) \| (.*) \|$/\1\t\2\t\3\t\4/' |
+        sed -E 's/[[:space:]]+\t/\t/g; s/\t[[:space:]]+/\t/g; s/[[:space:]]+$//'
+)"
+
+if diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >/dev/null; then
+    count="$(printf '%s\n' "$actual" | wc -l)"
+    echo "ledger records in sync: $count records match between --list-records and docs/LEDGER.md"
+else
+    echo "docs/LEDGER.md record table has drifted from flstore-durability --list-records:" >&2
+    diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >&2 || true
+    echo >&2
+    echo "update the table between <!-- ledger-records:begin/end --> in docs/LEDGER.md" >&2
+    echo "(or the RECORDS inventory in crates/durability/src/records.rs) so they agree." >&2
+    exit 1
+fi

@@ -15,6 +15,12 @@
 #   3. Connection limiting is clean: 5 simultaneous connections into
 #      `--max-conns 2` probe as served/overloaded with zero transport
 #      errors.
+#   4. Pacing is result-transparent: the same open-loop schedule sent
+#      unpaced and at `--rate 2000` against fresh servers must produce
+#      byte-identical deterministic report fields — arrival timing can
+#      only move `_wall` numbers. One connection, because only a total
+#      submission order is comparable across runs (multi-connection
+#      open loop races envelopes between sockets by design).
 #
 # Usage: scripts/net_smoke.sh
 set -euo pipefail
@@ -94,5 +100,22 @@ target/release/flstore-loadgen --addr "$addr" --mode probe \
     --connections 5 --expect-overload
 stop_server
 
+# --- 4. paced arrivals change nothing but wall-clock fields ----------
+mkdir -p "$out/unpaced" "$out/paced"
+start_server --jobs 1 --threads 4
+echo "net-smoke: unpaced open loop at $addr"
+target/release/flstore-loadgen --addr "$addr" --mode burst \
+    --connections 1 --requests 312 --seed 7 --out "$out/unpaced/openload.json"
+stop_server
+
+start_server --jobs 1 --threads 4
+echo "net-smoke: paced open loop (--rate 2000) at $addr"
+target/release/flstore-loadgen --addr "$addr" --mode burst \
+    --connections 1 --requests 312 --seed 7 --rate 2000 \
+    --out "$out/paced/openload.json"
+stop_server
+
+scripts/compare_results.sh "$out/unpaced" "$out/paced"
+
 echo
-echo "net-smoke: OK (deterministic closed loop, typed overload, clean connection limiting)"
+echo "net-smoke: OK (deterministic closed loop, typed overload, clean connection limiting, pacing result-transparent)"

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery smoke: the real server binary (lock-order
+# detector armed) writing a real write-ahead ledger, killed with SIGKILL
+# and recovered, byte-diffed against an uninterrupted run.
+#
+#   1. A durable server (--data-dir, synchronous commit) serves pass 1
+#      of a seeded closed-loop schedule, then dies by SIGKILL — no
+#      shutdown path, exactly what the ledger must survive.
+#   2. A fresh server process on the same --data-dir recovers (its log
+#      must say so) and serves pass 2.
+#   3. An identically configured durable server on its own data-dir
+#      serves pass 1 then pass 2 in one uninterrupted life — the only
+#      variable is the kill. Both passes' reports must match the killed
+#      run's byte-for-byte after scripts/compare_results.sh normalizes
+#      the `_wall` fields: pass 1 proves cross-process determinism,
+#      pass 2 proves the recovered state (cache, cold tier included) is
+#      the pre-crash state.
+#
+# Usage: scripts/recovery_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p flstore-net --features lock-order --bin flstore-net
+cargo build --release -q -p flstore-loadgen --bin flstore-loadgen
+
+server_pid=""
+server_log="$(mktemp)"
+data_dir="$(mktemp -d)"
+ref_data_dir="$(mktemp -d)"
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$server_log" "$data_dir" "$ref_data_dir"
+}
+trap cleanup EXIT
+
+# start_server <extra flags...> — launches a fresh server on an
+# ephemeral port and sets $addr from its "listening on" line.
+start_server() {
+    : >"$server_log"
+    target/release/flstore-net serve --addr 127.0.0.1:0 "$@" >"$server_log" 2>&1 &
+    server_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$server_log")"
+        [ -n "$addr" ] && return 0
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "recovery-smoke: server exited before binding:" >&2
+            cat "$server_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "recovery-smoke: server never reported its address" >&2
+    exit 1
+}
+
+out=recovery-smoke-results
+rm -rf "$out"
+mkdir -p "$out/killed" "$out/uninterrupted"
+durable_flags=(--jobs 1 --threads 2 --flush-every 1 --spill)
+
+# --- 1. durable pass 1, then die by SIGKILL --------------------------
+start_server "${durable_flags[@]}" --data-dir "$data_dir"
+echo "recovery-smoke: durable pass 1 at $addr (then SIGKILL)"
+target/release/flstore-loadgen --addr "$addr" --mode closed \
+    --requests 160 --seed 7 --out "$out/killed/pass1.json"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# --- 2. recover on the same data-dir, serve pass 2 -------------------
+start_server "${durable_flags[@]}" --data-dir "$data_dir"
+if ! grep -q '^durable: 1 job(s) recovered from ledger$' "$server_log"; then
+    echo "recovery-smoke: restarted server did not report a recovery:" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+echo "recovery-smoke: recovered at $addr, durable pass 2"
+target/release/flstore-loadgen --addr "$addr" --mode closed \
+    --requests 160 --seed 21 --out "$out/killed/pass2.json"
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# --- 3. the uninterrupted reference: both passes in one life ---------
+start_server "${durable_flags[@]}" --data-dir "$ref_data_dir"
+echo "recovery-smoke: uninterrupted reference at $addr (pass 1 + pass 2)"
+target/release/flstore-loadgen --addr "$addr" --mode closed \
+    --requests 160 --seed 7 --out "$out/uninterrupted/pass1.json"
+target/release/flstore-loadgen --addr "$addr" --mode closed \
+    --requests 160 --seed 21 --out "$out/uninterrupted/pass2.json"
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+scripts/compare_results.sh "$out/killed" "$out/uninterrupted"
+
+echo
+echo "recovery-smoke: OK (SIGKILL'd ledger recovered; both passes byte-identical to the uninterrupted run)"

@@ -13,7 +13,8 @@
 #   6. cargo doc --no-deps -D warnings         (lint: public API stays documented)
 #   7. determinism lint (analyze: BLOCKING, like CI) + rules/README
 #      drift guard via scripts/check_analyze_rules.sh + wire-protocol
-#      spec drift guard via scripts/check_wire_doc.sh
+#      spec drift guard via scripts/check_wire_doc.sh + ledger-format
+#      spec drift guard via scripts/check_ledger_doc.sh
 #   8. lock-order detector tests: parking_lot unit tests + the exec
 #      stress/rendezvous/seeded-inversion suite + the net socket suite,
 #      all --features lock-order
@@ -27,8 +28,12 @@
 #      excepted) — the sharded executor must be bit-for-bit sequential.
 #  11. net smoke: the real server binary + load generator over loopback
 #      via scripts/net_smoke.sh — closed-loop reports byte-diffed across
-#      shard counts, overload asserted typed (zero transport errors).
-#      Skip 9–11 with --skip-smoke for a quick edit-compile loop.
+#      shard counts, overload asserted typed (zero transport errors),
+#      paced arrivals asserted result-transparent.
+#  12. recovery smoke: a durable server SIGKILL'd mid-life and recovered
+#      from its write-ahead ledger via scripts/recovery_smoke.sh —
+#      served responses byte-diffed against an uninterrupted run.
+#      Skip 9–12 with --skip-smoke for a quick edit-compile loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -66,6 +71,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 run cargo run -q -p flstore-analyze -- lint
 run scripts/check_analyze_rules.sh
 run scripts/check_wire_doc.sh
+run scripts/check_ledger_doc.sh
 run cargo test -q -p parking_lot --features lock-order
 run cargo test -q -p flstore-exec --features lock-order
 run cargo test -q -p flstore-net --features lock-order
@@ -91,8 +97,13 @@ if [ "$skip_smoke" -eq 0 ]; then
 
     # Network plane smoke: real server binary + load generator over
     # loopback, lock-order armed; closed-loop determinism across shard
-    # counts, typed overload, clean connection limiting.
+    # counts, typed overload, clean connection limiting, paced arrivals.
     run scripts/net_smoke.sh
+
+    # Durability plane smoke: SIGKILL the durable server mid-life,
+    # recover from the ledger, byte-diff serving against an
+    # uninterrupted twin.
+    run scripts/recovery_smoke.sh
 else
     echo
     echo "==> figures smoke SKIPPED (--skip-smoke); CI always runs it"
