@@ -1,0 +1,122 @@
+//! Criterion: work-stealing serves of a single hot tenant at 1/2/4/8
+//! MetaKey shards. The inverse of `sharded_serve`'s setup: there the load
+//! spreads over 16 tenants and job-hash routing alone scales it; here one
+//! skewed tenant issues every request (compute-bound P2 filtering, all
+//! same-replica-set cache hits), the worst case job sharding cannot touch
+//! — its owner shard serializes everything while the other workers idle.
+//!
+//! Measured planes:
+//!
+//! * sequential `FlStore::submit_batch` (the baseline, no executor), and
+//! * a `ShardedExecutor` with K workers over a K-key-shard store: the
+//!   owner runs the bookkeeping, idle workers steal the deferred kernels.
+//!
+//! Responses are bit-for-bit identical everywhere (held by
+//! `crates/core/tests/api_batch.rs` and the `keyshard` experiment's
+//! checksum gate); this bench quantifies the wall-clock curve. Scaling is
+//! bounded by `std::thread::available_parallelism` and the stealable
+//! fraction of a serve (the `keyshard` experiment measures ~97% at this
+//! workload shape). The stand-in criterion reports p50/p95/p99 alongside
+//! mean/best.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use flstore_core::api::{Request, Service};
+use flstore_core::policy::TailoredPolicy;
+use flstore_core::store::{FlStore, FlStoreConfig};
+use flstore_exec::ShardedExecutor;
+use flstore_fl::ids::JobId;
+use flstore_fl::job::{FlJobConfig, FlJobSim};
+use flstore_serverless::platform::{PlatformConfig, ReclaimModel};
+use flstore_sim::time::{SimDuration, SimTime};
+use flstore_workloads::request::{RequestId, WorkloadRequest};
+use flstore_workloads::taxonomy::WorkloadKind;
+
+/// Serves per measured wave.
+const WAVE: u64 = 64;
+
+/// One hot tenant sized so the P2 kernel dominates per-serve overhead
+/// (same shape as the `keyshard` experiment, smaller for bench cadence).
+fn loaded_store(key_shards: usize) -> (FlStore, flstore_fl::ids::Round) {
+    let cfg = FlJobConfig {
+        rounds: 4,
+        total_clients: 48,
+        clients_per_round: 32,
+        weight_dim: 2048,
+        ..FlJobConfig::quick_test(JobId::new(1))
+    };
+    let store_cfg = FlStoreConfig {
+        key_shards,
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        ..FlStoreConfig::for_model(&cfg.model)
+    };
+    let mut store = FlStore::new(
+        store_cfg,
+        Box::new(TailoredPolicy::new()),
+        cfg.job,
+        cfg.model,
+    );
+    let mut last = flstore_fl::ids::Round::ZERO;
+    let mut now = SimTime::ZERO;
+    for record in FlJobSim::new(cfg) {
+        last = record.round;
+        store.ingest_round(now, &record);
+        now += SimDuration::from_secs(60);
+    }
+    (store, last)
+}
+
+/// One wave of same-replica-set cache-hit P2 serves for the hot tenant.
+fn wave(first_id: u64, round: flstore_fl::ids::Round) -> Vec<Request> {
+    (0..WAVE)
+        .map(|i| {
+            Request::Serve(WorkloadRequest::new(
+                RequestId::new(first_id + i),
+                WorkloadKind::MaliciousFiltering,
+                JobId::new(1),
+                round,
+                None,
+            ))
+        })
+        .collect()
+}
+
+fn bench_key_sharded_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_sharded_serve");
+    group.sample_size(10);
+
+    group.bench_function(&format!("sequential_x{WAVE}"), |b| {
+        let (mut store, round) = loaded_store(1);
+        let mut now = SimTime::from_secs(3600);
+        let mut id = 1u64;
+        b.iter(|| {
+            now += SimDuration::from_secs(60);
+            let requests = wave(id, round);
+            id += WAVE;
+            black_box(store.submit_batch(now, &requests));
+        });
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("keyshards{shards}_x{WAVE}"), |b| {
+            let (store, round) = loaded_store(shards);
+            let mut exec = ShardedExecutor::new(vec![store], shards);
+            let mut now = SimTime::from_secs(3600);
+            let mut id = 1u64;
+            b.iter(|| {
+                now += SimDuration::from_secs(60);
+                let requests = wave(id, round);
+                id += WAVE;
+                black_box(exec.submit_batch(now, &requests));
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_sharded_serve);
+criterion_main!(benches);

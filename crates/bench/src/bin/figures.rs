@@ -3,8 +3,8 @@
 #![forbid(unsafe_code)]
 
 use flstore_bench::{
-    breakdown, durability, headline, inventory, jobs, motivation, netserve, policies, robustness,
-    tenancy, Scale,
+    breakdown, durability, headline, inventory, jobs, keyshard, motivation, netserve, policies,
+    robustness, tenancy, Scale,
 };
 
 type Experiment = fn(Scale) -> serde_json::Value;
@@ -33,6 +33,7 @@ const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
     ("overhead", inventory::overhead, "overhead"),
     ("netserve", netserve::netserve, "netserve"),
     ("durability", durability::durability, "durability"),
+    ("keyshard", keyshard::keyshard, "keyshard"),
 ];
 
 /// Criterion bench targets (`cargo bench --bench <name>`), one per hot
@@ -56,6 +57,10 @@ const BENCHES: &[(&str, &str)] = &[
     (
         "sharded_serve",
         "sharded-executor scaling (1/2/4/8 shards) vs sequential serve_batch",
+    ),
+    (
+        "key_sharded_serve",
+        "one hot tenant: work-stealing serves at 1/2/4/8 key shards vs sequential",
     ),
 ];
 
@@ -95,9 +100,14 @@ fn main() {
     let scale = if fast { Scale::Fast } else { Scale::Full };
 
     // `--threads N`: serve every experiment through an N-shard concurrent
-    // executor. Outputs are byte-identical to a sequential run (the
+    // executor; `--threads 0` resolves to every available core. Outputs
+    // are byte-identical to a sequential run for ANY shard count (the
     // executor is bit-for-bit equivalent; CI diffs both runs to prove it).
     let mut threads = 1usize;
+    // `--key-shards K`: partition every cache engine's MetaKey state into
+    // K shards (the process-wide default; serialized configs keep the
+    // field at 0, so ledger bytes are identical across settings).
+    let mut key_shards: Option<usize> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -105,26 +115,45 @@ fn main() {
             continue;
         }
         if arg == "--threads" {
-            threads = iter
-                .next()
-                .and_then(|v| v.parse().ok())
-                .filter(|&n| n >= 1)
-                .unwrap_or_else(|| {
-                    eprintln!("--threads needs a positive shard count");
-                    std::process::exit(2);
-                });
-            continue;
-        }
-        if let Some(v) = arg.strip_prefix("--threads=") {
-            threads = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                eprintln!("--threads needs a positive shard count");
+            threads = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threads needs a shard count (0 = all available cores)");
                 std::process::exit(2);
             });
             continue;
         }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().ok().unwrap_or_else(|| {
+                eprintln!("--threads needs a shard count (0 = all available cores)");
+                std::process::exit(2);
+            });
+            continue;
+        }
+        if arg == "--key-shards" {
+            key_shards = Some(iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--key-shards needs a positive shard count");
+                std::process::exit(2);
+            }));
+            continue;
+        }
+        if let Some(v) = arg.strip_prefix("--key-shards=") {
+            key_shards = Some(v.parse().ok().unwrap_or_else(|| {
+                eprintln!("--key-shards needs a positive shard count");
+                std::process::exit(2);
+            }));
+            continue;
+        }
         targets.push(arg.as_str());
     }
+    if threads == 0 {
+        threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        eprintln!("--threads 0: resolved to {threads} available core(s)");
+    }
     flstore_bench::util::set_serving_threads(threads);
+    if let Some(shards) = key_shards {
+        flstore_bench::util::set_key_shards(shards);
+    }
 
     let resolve = |name: &str| -> Option<&'static str> {
         if let Some((n, _, _)) = EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
@@ -169,6 +198,9 @@ fn main() {
     );
     if threads > 1 {
         println!("serving plane: sharded executor, {threads} worker threads");
+    }
+    if let Some(shards) = key_shards {
+        println!("cache engines: {shards} MetaKey shard(s) per job");
     }
     #[cfg(feature = "lock-order")]
     eprintln!(

@@ -25,6 +25,17 @@ pub fn serving_threads() -> usize {
     SERVING_THREADS.load(Ordering::Relaxed)
 }
 
+/// Sets the process-wide default MetaKey shard count every cache engine
+/// built from a `key_shards: 0` config uses (`figures -- --key-shards K`).
+/// The engine's state split is unobservable by construction — responses,
+/// ledgers, and window costs are byte-identical at any K (CI-enforced by
+/// diffing a `--threads 4 --key-shards 4` sweep against sequential) —
+/// and serialized configs keep the field at 0, so ledger bytes never
+/// encode the knob.
+pub fn set_key_shards(n: usize) {
+    flstore_core::engine::set_default_key_shards(n);
+}
+
 /// Drives a serving system through the trace, honouring the `--threads`
 /// knob: with N > 1 the system serves behind an N-shard
 /// `flstore_exec::ShardedExecutor`. The executor is bit-for-bit

@@ -68,7 +68,7 @@ use flstore_workloads::service::ServiceLedger;
 
 use crate::error::FlStoreError;
 use crate::quota::{QuotaPolicy, QuotaUsage};
-use crate::store::{FlStore, ServedRequest};
+use crate::store::{FlStore, PendingServe, ServedRequest};
 use crate::tenancy::MultiTenantStore;
 
 /// One typed request envelope submitted to a serving system.
@@ -354,6 +354,86 @@ fn serve_response(result: Result<ServedRequest, FlStoreError>) -> Response {
     }
 }
 
+/// One envelope's response, possibly with its kernel compute still
+/// pending.
+///
+/// Everything except a successful `Serve` resolves immediately
+/// (`Ready`); a successful serve may instead hand back the
+/// [`PendingServe`] whose bookkeeping is committed but whose pure kernel
+/// any worker can [`finish`](DeferredResponse::finish) — the unit of
+/// work the executor's steal plane moves across threads.
+#[derive(Debug)]
+pub enum DeferredResponse {
+    /// Fully resolved.
+    Ready(Response),
+    /// Bookkeeping done; kernel compute pending.
+    Pending(PendingServe),
+}
+
+impl DeferredResponse {
+    /// Resolves to the final [`Response`], running the kernel if pending.
+    pub fn finish(self) -> Response {
+        match self {
+            DeferredResponse::Ready(response) => response,
+            DeferredResponse::Pending(pending) => Response::Served(Box::new(pending.finish())),
+        }
+    }
+}
+
+impl FlStore {
+    /// [`Service::submit_batch`] with successful serves left as pending
+    /// kernel computes.
+    ///
+    /// All shared-state effects (ingest, eviction, cache mutation,
+    /// tracker, ledger) commit here, on the calling thread, in
+    /// submission order; each [`DeferredResponse::Pending`] slot is pure
+    /// and `Send`. Finishing every slot in order yields exactly the
+    /// `submit_batch` responses — `submit_batch` *is* that composition,
+    /// so the two cannot drift.
+    pub fn submit_batch_deferred(
+        &mut self,
+        now: SimTime,
+        requests: &[Request],
+    ) -> Vec<DeferredResponse> {
+        let own = self.catalog().job();
+        let mut responses: Vec<Option<DeferredResponse>> = Vec::new();
+        responses.resize_with(requests.len(), || None);
+        let mut i = 0;
+        while i < requests.len() {
+            // Collect the run of consecutive Serve envelopes starting here.
+            let mut run: Vec<WorkloadRequest> = Vec::new();
+            let mut slots: Vec<usize> = Vec::new();
+            while let Some(Request::Serve(request)) = requests.get(i) {
+                if request.job == own {
+                    run.push(*request);
+                    slots.push(i);
+                } else {
+                    responses[i] = Some(DeferredResponse::Ready(Response::Rejected(
+                        ApiError::UnknownJob { job: request.job },
+                    )));
+                }
+                i += 1;
+            }
+            if !run.is_empty() {
+                for (slot, result) in slots.into_iter().zip(self.serve_batch_deferred(now, &run)) {
+                    responses[slot] = Some(match result {
+                        Ok(pending) => DeferredResponse::Pending(pending),
+                        Err(e) => DeferredResponse::Ready(Response::Rejected(e.into())),
+                    });
+                }
+            }
+            if let Some(request) = requests.get(i) {
+                responses[i] = Some(DeferredResponse::Ready(self.submit(now, request.clone())));
+                i += 1;
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every envelope slot is filled"))
+            .collect()
+    }
+}
+
 impl Service for FlStore {
     fn label(&self) -> String {
         self.policy_name().to_string()
@@ -406,41 +486,16 @@ impl Service for FlStore {
     }
 
     /// Runs of consecutive admitted `Serve` envelopes go through
-    /// [`FlStore::serve_batch`], paying the liveness/refresh pass once per
-    /// run; other envelopes (and admission rejections, which have no side
-    /// effects) are processed in submission order.
+    /// [`FlStore::serve_batch_deferred`], paying the liveness/refresh
+    /// pass once per run; other envelopes (and admission rejections,
+    /// which have no side effects) are processed in submission order.
+    /// Deferred kernels are finished inline, in order — the parallel
+    /// executor calls [`FlStore::submit_batch_deferred`] itself and
+    /// spreads the finishes across workers instead.
     fn submit_batch(&mut self, now: SimTime, requests: &[Request]) -> Vec<Response> {
-        let own = self.catalog().job();
-        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
-        let mut i = 0;
-        while i < requests.len() {
-            // Collect the run of consecutive Serve envelopes starting here.
-            let mut run: Vec<WorkloadRequest> = Vec::new();
-            let mut slots: Vec<usize> = Vec::new();
-            while let Some(Request::Serve(request)) = requests.get(i) {
-                if request.job == own {
-                    run.push(*request);
-                    slots.push(i);
-                } else {
-                    responses[i] = Some(Response::Rejected(ApiError::UnknownJob {
-                        job: request.job,
-                    }));
-                }
-                i += 1;
-            }
-            if !run.is_empty() {
-                for (slot, result) in slots.into_iter().zip(self.serve_batch(now, &run)) {
-                    responses[slot] = Some(serve_response(result));
-                }
-            }
-            if let Some(request) = requests.get(i) {
-                responses[i] = Some(self.submit(now, request.clone()));
-                i += 1;
-            }
-        }
-        responses
+        self.submit_batch_deferred(now, requests)
             .into_iter()
-            .map(|r| r.expect("every envelope slot is filled"))
+            .map(DeferredResponse::finish)
             .collect()
     }
 

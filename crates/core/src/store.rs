@@ -27,7 +27,7 @@ use flstore_sim::cost::CostBreakdown;
 use flstore_sim::latency::LatencyBreakdown;
 use flstore_sim::time::{SimDuration, SimTime};
 use flstore_workloads::request::{JobCatalog, WorkloadRequest};
-use flstore_workloads::run::{execute, WorkloadOutcome};
+use flstore_workloads::run::{prepare, PreparedExecute, WorkloadOutcome};
 
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +72,15 @@ pub struct FlStoreConfig {
     /// disk-spill cold tier. The default ([`DurabilityConfig::DISABLED`])
     /// changes nothing about the store's behaviour.
     pub durability: DurabilityConfig,
+    /// Key-shard count for the cache engine (intra-job parallelism): the
+    /// engine partitions placement/decoded state into this many
+    /// [`MetaKey`]-routed shards. `0` (the
+    /// serde default, so pre-existing serialized configs replay
+    /// unchanged) defers to the process-wide default
+    /// ([`crate::engine::default_key_shards`]). Observable behaviour is
+    /// shard-count independent; only serve-phase parallelism changes.
+    #[serde(default)]
+    pub key_shards: usize,
 }
 
 impl FlStoreConfig {
@@ -93,6 +102,17 @@ impl FlStoreConfig {
             routing_overhead: SimDuration::from_millis(2),
             quota: None,
             durability: DurabilityConfig::DISABLED,
+            key_shards: 0,
+        }
+    }
+
+    /// The engine key-shard count this config resolves to: its own
+    /// `key_shards` if set, else the process-wide default.
+    pub fn resolved_key_shards(&self) -> usize {
+        if self.key_shards == 0 {
+            crate::engine::default_key_shards()
+        } else {
+            self.key_shards
         }
     }
 }
@@ -104,6 +124,35 @@ pub struct ServedRequest {
     pub outcome: WorkloadOutcome,
     /// Measured latency, cost, and cache behaviour.
     pub measured: RequestOutcome,
+}
+
+/// A serve whose bookkeeping is committed but whose pure kernel has not
+/// run yet.
+///
+/// The store's serve path splits in two halves: everything that touches
+/// shared state — hit/miss classification, cache mutation, tracker
+/// dispatch/complete, billing, the outcome ledger — runs on the owning
+/// thread and is finished by the time this value exists; the kernel
+/// compute ([`PreparedExecute`]) is pure and `Send`, so any worker may
+/// [`finish`](PendingServe::finish) it. A deferred serve finished on a
+/// stealing worker is bit-for-bit the [`ServedRequest`] the owner would
+/// have produced inline.
+#[derive(Debug, Clone)]
+pub struct PendingServe {
+    /// Measured latency/cost/cache behaviour — already pushed to the
+    /// store's outcome ledger.
+    pub measured: RequestOutcome,
+    task: PreparedExecute,
+}
+
+impl PendingServe {
+    /// Runs the deferred kernel and assembles the response.
+    pub fn finish(self) -> ServedRequest {
+        ServedRequest {
+            outcome: self.task.compute(),
+            measured: self.measured,
+        }
+    }
 }
 
 /// Receipt for ingesting one round of FL metadata.
@@ -185,7 +234,7 @@ impl FlStore {
         FlStore {
             platform,
             persistent,
-            engine: CacheEngine::new(),
+            engine: CacheEngine::with_key_shards(cfg.resolved_key_shards()),
             tracker: RequestTracker::new(),
             catalog: JobCatalog::new(job, model),
             rings,
@@ -345,7 +394,7 @@ impl FlStore {
     /// bytes tracked by the placement index plus the decoded-value layer's
     /// residency — one number every budgeting decision sees.
     pub fn resident_bytes(&self) -> ByteSize {
-        self.engine.bytes_tracked() + self.engine.decoded().resident_bytes()
+        self.engine.bytes_tracked() + self.engine.decoded_resident_bytes()
     }
 
     /// This tenant's point-in-time quota occupancy row (carried by
@@ -387,6 +436,14 @@ impl FlStore {
     /// this tenant's own policy victims, then refuses the object if room
     /// still cannot be made. Elastic and unquota'd deployments always
     /// admit (the pressure plane governs elastic overshoot).
+    ///
+    /// Admission goes through the engine's [`AdmissionGate`]
+    /// (`crate::quota::AdmissionGate`): check-and-reserve is one CAS, so
+    /// there is no window between the budget check and the placement in
+    /// which another admitter could consume the same headroom. The gate
+    /// mirrors `resident_bytes()` exactly (reservations are settled after
+    /// every placement), so the decisions are identical to the previous
+    /// check-then-place sequence.
     fn quota_admits(&mut self, size: ByteSize) -> bool {
         let Some(quota) = self.cfg.quota else {
             return true;
@@ -400,12 +457,12 @@ impl FlStore {
         if size > quota.bytes {
             return false;
         }
-        let projected = self.resident_bytes() + size;
-        if projected <= quota.bytes {
+        if self.engine.admission().try_admit(size, quota.bytes) {
             return true;
         }
+        let projected = self.resident_bytes() + size;
         self.reclaim_internal(projected.saturating_sub(quota.bytes));
-        self.resident_bytes() + size <= quota.bytes
+        self.engine.admission().try_admit(size, quota.bytes)
     }
 
     /// Restores the strict invariant `resident_bytes() <= budget` after an
@@ -583,6 +640,11 @@ impl FlStore {
         if !replicas.is_empty() {
             self.engine.record(key, replicas, size, available_at);
         }
+        // A strict-quota admission reserved `size` in the gate; `record`
+        // consumed it. If every ring refused placement there is no record
+        // and the reservation dangles — settle so the gate keeps
+        // mirroring `resident_bytes()` exactly.
+        let _ = self.engine.admission().settle();
     }
 
     /// Removes `key` from every cache layer. Pressure victims
@@ -670,7 +732,7 @@ impl FlStore {
                 if self.engine.contains(key) {
                     // The producer already holds the decoded value: seed the
                     // decoded layer so this object is never parsed again.
-                    self.engine.decoded_mut().seed(*key, blob, value.clone());
+                    self.engine.decoded_seed(*key, blob, value.clone());
                 }
                 cached += 1;
             }
@@ -746,6 +808,27 @@ impl FlStore {
         now: SimTime,
         requests: &[WorkloadRequest],
     ) -> Vec<Result<ServedRequest, FlStoreError>> {
+        // The deferred body commits all bookkeeping in submission order;
+        // the kernels it leaves behind are pure, so finishing them here
+        // (in order, inline) is observationally identical to the
+        // interleaved sequential execution.
+        self.serve_batch_deferred(now, requests)
+            .into_iter()
+            .map(|slot| slot.map(PendingServe::finish))
+            .collect()
+    }
+
+    /// [`serve_batch`](Self::serve_batch) with the kernel computes left
+    /// pending: all shared-state bookkeeping (cache mutation, tracker,
+    /// billing, outcome ledger) commits here in submission order; each
+    /// `Ok` slot's [`PendingServe`] is `Send` and may be finished on any
+    /// worker. This is the handoff surface the work-stealing executor
+    /// serves a hot tenant through.
+    pub fn serve_batch_deferred(
+        &mut self,
+        now: SimTime,
+        requests: &[WorkloadRequest],
+    ) -> Vec<Result<PendingServe, FlStoreError>> {
         // A batch of one logs the same record `serve` would: the Service
         // contract makes singleton batches identical to single submits,
         // and the ledger must not betray which path carried the envelope
@@ -790,7 +873,7 @@ impl FlStore {
                 } else {
                     // Enforced per request (even on errors), exactly as a
                     // sequential submission would.
-                    let result = self.serve_resolved(now, request, needs, recovered);
+                    let result = self.serve_resolved_deferred(now, request, needs, recovered);
                     self.enforce_strict_budget();
                     result
                 }
@@ -854,14 +937,16 @@ impl FlStore {
 
     /// The serve body after admission, data-needs resolution, and the
     /// liveness pass: hit/miss classification, locality-aware execution,
-    /// and policy reaction.
-    fn serve_resolved(
+    /// and policy reaction — everything *except* the pure kernel compute,
+    /// which the returned [`PendingServe`] carries for any thread to
+    /// finish.
+    fn serve_resolved_deferred(
         &mut self,
         now: SimTime,
         request: &WorkloadRequest,
         needs: &[MetaKey],
         recovered_from_fault: bool,
-    ) -> Result<ServedRequest, FlStoreError> {
+    ) -> Result<PendingServe, FlStoreError> {
         let mut latency = LatencyBreakdown {
             routing: self.cfg.routing_overhead,
             ..LatencyBreakdown::ZERO
@@ -939,13 +1024,13 @@ impl FlStore {
             // Zero-decode fast path: a cached object hands back its shared
             // handle; only a handle-less hit (e.g. after prefetch) reads the
             // blob, and then decodes at most once for the object's lifetime.
-            let value = match self.engine.decoded_mut().get(key) {
+            let value = match self.engine.decoded_get(key) {
                 Some(v) => Some(v),
                 None => self
                     .platform
                     .instance(source)
                     .and_then(|i| i.object(&key.object_key()).cloned())
-                    .and_then(|blob| self.engine.decoded_mut().get_or_decode(key, &blob)),
+                    .and_then(|blob| self.engine.decoded_get_or_decode(key, &blob)),
             };
             if let Some(v) = value {
                 values.push(v);
@@ -1003,7 +1088,7 @@ impl FlStore {
                 if admitted && self.engine.contains(key) {
                     // Newly cached: decode once through the decoded layer so
                     // later hits are Arc clones.
-                    if let Some(v) = self.engine.decoded_mut().get_or_decode(key, &blob) {
+                    if let Some(v) = self.engine.decoded_get_or_decode(key, &blob) {
                         values.push(v);
                     }
                 } else {
@@ -1023,9 +1108,11 @@ impl FlStore {
             }
         }
 
-        // Execute the workload on the primary (or a scratch function when
-        // everything missed and nothing was cached).
-        let outcome = execute(request, &values, self.catalog.model().compute_scale())?;
+        // Validate inputs and package the kernel for execution on the
+        // primary (or a scratch function when everything missed and
+        // nothing was cached). `prepare` fails exactly where `execute`
+        // would — before any dispatch/billing below commits.
+        let task = prepare(request, values, self.catalog.model().compute_scale())?;
         let exec_fn = match primary.or_else(|| self.rings[0].first().copied()) {
             Some(id) => id,
             None => {
@@ -1036,7 +1123,7 @@ impl FlStore {
             }
         };
         self.tracker.dispatch(request.id, vec![exec_fn]);
-        let invoke = self.platform.invoke(now, exec_fn, outcome.work)?;
+        let invoke = self.platform.invoke(now, exec_fn, task.work())?;
         latency.queueing += invoke.queue_wait;
         latency.computation += invoke.receipt.latency.saturating_sub(invoke.queue_wait);
         cost += invoke.receipt.cost;
@@ -1075,6 +1162,19 @@ impl FlStore {
             recovered_from_fault,
         };
         self.ledger.outcomes.push(measured);
-        Ok(ServedRequest { outcome, measured })
+        Ok(PendingServe { measured, task })
+    }
+
+    /// [`serve_resolved_deferred`](Self::serve_resolved_deferred) plus an
+    /// inline kernel finish — the sequential serve body.
+    fn serve_resolved(
+        &mut self,
+        now: SimTime,
+        request: &WorkloadRequest,
+        needs: &[MetaKey],
+        recovered_from_fault: bool,
+    ) -> Result<ServedRequest, FlStoreError> {
+        self.serve_resolved_deferred(now, request, needs, recovered_from_fault)
+            .map(PendingServe::finish)
     }
 }

@@ -11,6 +11,7 @@
 //! overhead benchmarks reproduce.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::RwLock;
 
@@ -46,6 +47,11 @@ pub struct RequestEntry {
 #[derive(Debug)]
 pub struct RequestTracker {
     entries: RwLock<HashMap<RequestId, RequestEntry>>,
+    /// Mirror of the unfinished-entry count, so the hot-path gauge
+    /// [`RequestTracker::in_flight`] never takes the map lock. Mutated
+    /// only while holding the `entries` write lock, which already orders
+    /// the updates — hence every access is Relaxed.
+    open: AtomicUsize,
 }
 
 impl Default for RequestTracker {
@@ -60,18 +66,25 @@ impl RequestTracker {
     pub fn new() -> Self {
         RequestTracker {
             entries: RwLock::named(HashMap::new(), "core.tracker.entries"),
+            open: AtomicUsize::new(0),
         }
     }
 
     /// Records that `request` was routed to `functions`.
     pub fn dispatch(&self, request: RequestId, functions: Vec<FunctionId>) {
-        self.entries.write().insert(
+        let mut entries = self.entries.write();
+        let prev = entries.insert(
             request,
             RequestEntry {
                 functions,
                 done: false,
             },
         );
+        if !matches!(prev, Some(ref e) if !e.done) {
+            // Relaxed: guarded by the write lock above; the atomic only
+            // mirrors the count for lock-free reads.
+            self.open.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Adds a function to an existing dispatch (failover re-routing).
@@ -94,7 +107,11 @@ impl RequestTracker {
         let mut entries = self.entries.write();
         match entries.get_mut(&request) {
             Some(entry) => {
-                entry.done = true;
+                if !entry.done {
+                    entry.done = true;
+                    // Relaxed: guarded by the write lock above.
+                    self.open.fetch_sub(1, Ordering::Relaxed);
+                }
                 true
             }
             None => false,
@@ -113,7 +130,17 @@ impl RequestTracker {
 
     /// Removes a finished request's record (the client collected results).
     pub fn forget(&self, request: RequestId) -> bool {
-        self.entries.write().remove(&request).is_some()
+        let mut entries = self.entries.write();
+        match entries.remove(&request) {
+            Some(entry) => {
+                if !entry.done {
+                    // Relaxed: guarded by the write lock above.
+                    self.open.fetch_sub(1, Ordering::Relaxed);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of tracked requests.
@@ -126,9 +153,11 @@ impl RequestTracker {
         self.entries.read().is_empty()
     }
 
-    /// Number of tracked-but-unfinished requests.
+    /// Number of tracked-but-unfinished requests. Lock-free: reads the
+    /// mirrored counter (Relaxed — a monitoring gauge needs no ordering)
+    /// instead of scanning the map under its lock.
     pub fn in_flight(&self) -> usize {
-        self.entries.read().values().filter(|e| !e.done).count()
+        self.open.load(Ordering::Relaxed)
     }
 
     /// Estimated resident memory, for the overhead analysis (§5.5).
@@ -189,6 +218,30 @@ mod tests {
         // Paper §5.5: <0.19 MB at 1000 concurrent requests.
         assert!(est < ByteSize::from_mb_f64(0.25), "{est}");
         assert!(est > ByteSize::from_kb(50), "{est}");
+    }
+
+    #[test]
+    fn in_flight_gauge_stays_exact_across_lifecycles() {
+        let t = RequestTracker::new();
+        let scan = |t: &RequestTracker| t.entries.read().values().filter(|e| !e.done).count();
+        let r1 = RequestId::new(1);
+        let r2 = RequestId::new(2);
+        t.dispatch(r1, vec![fid(1)]);
+        t.dispatch(r2, vec![fid(2)]);
+        assert_eq!(t.in_flight(), 2);
+        t.dispatch(r1, vec![fid(3)]); // re-dispatch while open: no double count
+        assert_eq!(t.in_flight(), 2);
+        t.complete(r1);
+        t.complete(r1); // idempotent completion: no double decrement
+        assert_eq!(t.in_flight(), 1);
+        t.dispatch(r1, vec![fid(4)]); // re-dispatch after completion re-opens
+        assert_eq!(t.in_flight(), 2);
+        t.forget(r2); // forgetting an open request closes it
+        assert_eq!(t.in_flight(), 1);
+        t.complete(r1);
+        t.forget(r1); // forgetting a finished request is a no-op on the gauge
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.in_flight(), scan(&t));
     }
 
     #[test]

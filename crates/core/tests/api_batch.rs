@@ -8,6 +8,11 @@
 //! deployments must be bit-for-bit identical to sequential submission —
 //! responses, ledgers, window costs, and cache fingerprints.
 //!
+//! For the *intra-job* plane: the same line holds across the key-shards
+//! × job-shards cross product — a `MetaKey`-sharded cache engine served
+//! through a work-stealing executor — including the f64 fold order of
+//! Stats barriers and the bytes a durable deployment persists.
+//!
 //! And for the *durability* plane: a deployment killed at an arbitrary
 //! point in the mix and recovered from its write-ahead ledger must serve
 //! the remaining envelopes exactly as the uninterrupted run would, at
@@ -49,8 +54,15 @@ fn job_config() -> FlJobConfig {
 /// A deployment with `capacity` optionally constrained (the
 /// FLStore-limited shape, which exercises victim eviction under pressure).
 fn loaded_store(limited: bool) -> (FlStore, Vec<RoundRecord>) {
+    loaded_store_keyed(limited, 0)
+}
+
+/// [`loaded_store`] with the cache engine partitioned into `key_shards`
+/// MetaKey shards (0 = the process-wide default, i.e. unsharded).
+fn loaded_store_keyed(limited: bool, key_shards: usize) -> (FlStore, Vec<RoundRecord>) {
     let job = job_config();
     let cfg = FlStoreConfig {
+        key_shards,
         platform: PlatformConfig {
             reclaim: ReclaimModel::DISABLED,
             ..PlatformConfig::default()
@@ -229,6 +241,143 @@ fn assert_sharded_single_tenant_equivalent(limited: bool, seed: u64, len: usize)
     }
 }
 
+/// MetaKey-shard counts the intra-job parallelism properties sweep.
+const KEY_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Intra-job parallelism: the full key-shards × job-shards cross product
+/// must be bit-for-bit identical to sequential submission on an unsharded
+/// deployment. With more workers than busy jobs (every point here — one
+/// tenant), the idle workers steal the hot tenant's deferred serve
+/// kernels, so this property also pins the steal plane's ordered merge.
+fn assert_key_shard_cross_product_equivalent(limited: bool, seed: u64, len: usize) {
+    let (mut sequential, records) = loaded_store(limited);
+    let mix = request_mix(seed, len, &records);
+    let now = SimTime::from_secs(7200);
+    let sequential_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| sequential.submit(now, r.clone()))
+        .collect();
+    let sequential_cost = sequential.total_cost(now);
+
+    for key_shards in KEY_SHARD_COUNTS {
+        for job_shards in [1usize, 2, 4] {
+            let (parallel, _) = loaded_store_keyed(limited, key_shards);
+            let mut exec = ShardedExecutor::new(vec![parallel], job_shards);
+            let responses = exec.submit_batch(now, &mix);
+            assert_eq!(
+                responses, sequential_responses,
+                "responses @K={key_shards} keys × {job_shards} workers"
+            );
+            // Exact f64 equality: any hash-order drift in a cost fold
+            // shows up here, not as an epsilon.
+            assert_eq!(
+                Service::window_cost(&mut exec, now),
+                sequential_cost,
+                "window costs @K={key_shards} keys × {job_shards} workers"
+            );
+            let store = exec.into_units().pop().expect("unit returned");
+            assert_eq!(
+                store.ledger().outcomes,
+                sequential.ledger().outcomes,
+                "ledger @K={key_shards} keys × {job_shards} workers"
+            );
+            assert_eq!(
+                cache_fingerprint(&store),
+                cache_fingerprint(&sequential),
+                "cache state @K={key_shards} keys × {job_shards} workers"
+            );
+        }
+    }
+}
+
+/// Durability × key shards: a durable deployment's persisted bytes —
+/// write-ahead ledger segments and snapshots — must be identical at every
+/// key-shard count, even when the serves run through a work-stealing
+/// executor. The shard layout is a serve-phase fact; if it leaked into
+/// the persisted records (hash/shard iteration order in a digest or
+/// snapshot), recovery portability across `--key-shards` settings would
+/// silently break. Only the MANIFEST may differ, and only in its
+/// `key_shards` field.
+fn assert_key_sharded_durability_bytes_identical(seed: u64, len: usize) {
+    let (mut reference, records) = loaded_store(false);
+    let mix = request_mix(seed, len, &records);
+    let now = SimTime::from_secs(7200);
+    let reference_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| reference.submit(now, r.clone()))
+        .collect();
+
+    let mut persisted: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+    let mut manifests: Vec<flstore_durability::recover::Manifest> = Vec::new();
+    for key_shards in [1usize, 8] {
+        let dir = flstore_durability::testkit::DetTempDir::new(
+            "api-batch-keyshard-wal",
+            seed ^ ((len as u64) << 40) ^ ((key_shards as u64) << 56),
+        );
+        let job = job_config();
+        let cfg = FlStoreConfig {
+            key_shards,
+            platform: PlatformConfig {
+                reclaim: ReclaimModel::DISABLED,
+                ..PlatformConfig::default()
+            },
+            durability: flstore_core::durable::DurabilityConfig {
+                flush_every: 1,
+                snapshot_every: 8,
+                ..flstore_core::durable::DurabilityConfig::DISABLED
+            },
+            ..FlStoreConfig::for_model(&job.model)
+        };
+        let mut durable = FlStore::new(cfg, Box::new(TailoredPolicy::new()), job.job, job.model);
+        flstore_durability::recover::attach(&mut durable, dir.path()).expect("attach");
+        let mut at = SimTime::ZERO;
+        for r in &records[..records.len() - 1] {
+            durable.ingest_round(at, r);
+            at += SimDuration::from_secs(60);
+        }
+        let mut exec = ShardedExecutor::new(vec![durable], 4);
+        let responses = exec.submit_batch(now, &mix);
+        assert_eq!(
+            responses, reference_responses,
+            "durable responses @{key_shards} key shards"
+        );
+        drop(exec); // close the ledger writer before reading its files
+
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir.path())
+            .expect("durable dir")
+            .map(|e| e.expect("dir entry"))
+            .filter(|e| e.file_name() != flstore_durability::recover::MANIFEST)
+            .map(|e| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).expect("persisted file"),
+                )
+            })
+            .collect();
+        files.sort();
+        assert!(
+            !files.is_empty(),
+            "the durable run persisted nothing to compare"
+        );
+        persisted.push(files);
+        let manifest =
+            std::fs::read_to_string(dir.path().join(flstore_durability::recover::MANIFEST))
+                .expect("manifest");
+        manifests.push(serde_json::from_str(&manifest).expect("manifest parses"));
+    }
+    assert_eq!(
+        persisted[0], persisted[1],
+        "ledger/snapshot bytes differ across key-shard counts"
+    );
+    for manifest in &mut manifests {
+        manifest.config.key_shards = 0;
+    }
+    assert_eq!(
+        manifests[0], manifests[1],
+        "manifests differ beyond the key_shards field"
+    );
+}
+
 const TENANT_JOBS: [u32; 3] = [1, 2, 5];
 
 /// A multi-tenant front end with every tenant trained up to (but not
@@ -237,7 +386,17 @@ const TENANT_JOBS: [u32; 3] = [1, 2, 5];
 /// global budget sized to force the pressure pass at every Stats barrier —
 /// the cross-tenant quota-pressure shape.
 fn loaded_front_with_quotas(quotas: bool) -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
+    loaded_front_keyed(quotas, 0)
+}
+
+/// [`loaded_front_with_quotas`] with every tenant's cache engine
+/// partitioned into `key_shards` MetaKey shards.
+fn loaded_front_keyed(
+    quotas: bool,
+    key_shards: usize,
+) -> (MultiTenantStore, Vec<Vec<RoundRecord>>) {
     let template = FlStoreConfig {
+        key_shards,
         platform: PlatformConfig {
             reclaim: ReclaimModel::DISABLED,
             ..PlatformConfig::default()
@@ -345,6 +504,55 @@ fn assert_sharded_multi_tenant_equivalent_with(quotas: bool, seed: u64, len: usi
                 store.catalog().job()
             );
         }
+    }
+}
+
+/// Fold-order regression (the PR 3/5 bug shape): Stats barriers and
+/// window-cost reductions fold f64 partials — across tenants in sorted
+/// job order, and within a tenant over per-key-shard partial counters
+/// that the engine sums in fixed shard-index order. A refactor that let
+/// hash or shard iteration order reach either fold would drift the f64
+/// sums between runs and between key-shard counts. This property pins
+/// both: the full Stats/cost surface of a quota-armed multi-tenant front
+/// must be *exactly* equal (f64 bitwise, via `PartialEq`) between an
+/// unsharded sequential run and a key-sharded executor run — and between
+/// two identically-built key-sharded runs.
+fn assert_stats_fold_pinned_across_key_shards(quotas: bool, seed: u64, len: usize) {
+    let (mut sequential, per_job) = loaded_front_with_quotas(quotas);
+    let mut mix = tenant_mix(seed, len, &per_job);
+    // End on a Stats barrier so every run closes with the full fold.
+    mix.push(Request::Stats);
+    let now = SimTime::from_secs(7200);
+    let sequential_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| sequential.submit(now, r.clone()))
+        .collect();
+    let sequential_cost = sequential.total_cost(now);
+
+    for key_shards in [2usize, 8] {
+        let run = |_: usize| {
+            let (front, _) = loaded_front_keyed(quotas, key_shards);
+            let mut exec = ShardedExecutor::from_tenants(front, 4);
+            let responses = exec.submit_batch(now, &mix);
+            let cost = Service::window_cost(&mut exec, now);
+            (responses, cost)
+        };
+        let (responses, cost) = run(0);
+        assert_eq!(
+            responses, sequential_responses,
+            "stats fold drifted @{key_shards} key shards"
+        );
+        assert_eq!(
+            cost, sequential_cost,
+            "cost fold drifted @{key_shards} key shards"
+        );
+        // Run-to-run: hash-order leakage is seeded per HashMap instance,
+        // so a second identically-built run is an independent draw.
+        assert_eq!(
+            run(1),
+            (responses, cost),
+            "stats fold is nondeterministic @{key_shards} key shards"
+        );
     }
 }
 
@@ -559,6 +767,31 @@ proptest! {
     #[test]
     fn sharded_executor_equals_sequential_under_capacity_pressure(seed in 0u64..1_000_000, len in 1usize..12) {
         assert_sharded_single_tenant_equivalent(true, seed, len);
+    }
+
+    #[test]
+    fn key_shard_cross_product_equals_sequential(seed in 0u64..1_000_000, len in 1usize..10) {
+        assert_key_shard_cross_product_equivalent(false, seed, len);
+    }
+
+    #[test]
+    fn key_shard_cross_product_equals_sequential_under_capacity_pressure(seed in 0u64..1_000_000, len in 1usize..8) {
+        assert_key_shard_cross_product_equivalent(true, seed, len);
+    }
+
+    #[test]
+    fn key_sharded_durability_bytes_are_identical(seed in 0u64..1_000_000, len in 1usize..8) {
+        assert_key_sharded_durability_bytes_identical(seed, len);
+    }
+
+    #[test]
+    fn stats_fold_pinned_across_key_shards(seed in 0u64..1_000_000, len in 1usize..10) {
+        assert_stats_fold_pinned_across_key_shards(false, seed, len);
+    }
+
+    #[test]
+    fn stats_fold_pinned_across_key_shards_under_quota_pressure(seed in 0u64..1_000_000, len in 1usize..8) {
+        assert_stats_fold_pinned_across_key_shards(true, seed, len);
     }
 
     #[test]

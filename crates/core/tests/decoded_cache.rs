@@ -98,7 +98,7 @@ proptest! {
             prop_assert!(served.measured.cache_hits > 0);
             outputs.push(served.outcome.output);
         }
-        let stats = r.store.engine().decoded().stats();
+        let stats = r.store.engine().decoded_stats();
         prop_assert_eq!(stats.decodes, 0, "hit path must be zero-decode");
         prop_assert!(stats.hits > 0);
         // Shared handles serve byte-identical results.
@@ -126,14 +126,14 @@ proptest! {
             prop_assert!(r.store.evict(k));
         }
         prop_assert_eq!(r.store.engine().len(), 0);
-        prop_assert_eq!(r.store.engine().decoded().stats().decodes, 0);
+        prop_assert_eq!(r.store.engine().decoded_stats().decodes, 0);
 
         let mut first_decodes = 0;
         for i in 0..serves {
             let req = r.request(900 + i as u64, WorkloadKind::MaliciousFiltering, 3);
             r.now += SimDuration::from_secs(30);
             let served = r.store.serve(r.now, &req).expect("servable");
-            let stats = r.store.engine().decoded().stats();
+            let stats = r.store.engine().decoded_stats();
             if i == 0 {
                 prop_assert!(served.measured.cache_misses > 0);
                 first_decodes = stats.decodes;

@@ -21,6 +21,23 @@
 //! on every thread record dispatch/completion through its internal
 //! `RwLock`, exactly the shared-front-end role the paper gives it.
 //!
+//! ## Work stealing (intra-job parallelism)
+//!
+//! Job-hash routing alone caps a *single hot tenant* at one core: every
+//! envelope for that job lands on its owner shard while the other workers
+//! idle. The executor therefore splits each serve into its two halves —
+//! the owner-serialized bookkeeping (cache lookups, ledger, placement) and
+//! the *pure* workload kernel — via
+//! [`ShardUnit::submit_batch_deferred`]. The owner runs the bookkeeping in
+//! submission order, then publishes the deferred kernels onto a per-flush
+//! `StealPlane`: one deque per worker behind one consolidated
+//! (lock-order-named) mutex each, never nested. Idle workers receive an
+//! `Assist` command and steal kernels across shard boundaries; owners help
+//! drain the plane before blocking on their own results. Kernels are pure
+//! functions over `Arc`-captured values, so where or when they run cannot
+//! change a byte of any response, ledger entry, or window cost — the
+//! responses are merged back by submission index exactly as before.
+//!
 //! ## Determinism
 //!
 //! * Envelopes routed to the same job are executed in submission order on
@@ -69,13 +86,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
+use parking_lot::Mutex;
+
 use flstore_baselines::agg::AggregatorBaseline;
-use flstore_core::api::{ApiError, Request, Response, Service, StatsReport};
+use flstore_core::api::{ApiError, DeferredResponse, Request, Response, Service, StatsReport};
 use flstore_core::quota::{pressure_plan, QuotaUsage};
 use flstore_core::store::FlStore;
 use flstore_core::tenancy::MultiTenantStore;
@@ -113,6 +133,24 @@ pub trait ShardUnit: Service + Send {
     fn reclaim(&mut self, need: ByteSize) {
         let _ = need;
     }
+
+    /// Serves a batch with the pure workload kernels *deferred*: all
+    /// owner-serialized bookkeeping (cache state, ledger, placement)
+    /// commits in submission order before this returns, while each
+    /// [`DeferredResponse::Pending`] slot carries a kernel any thread may
+    /// finish later. Units without a separable kernel compute inline and
+    /// return every slot [`DeferredResponse::Ready`] — the default is
+    /// always correct, just never parallel.
+    fn submit_batch_deferred(
+        &mut self,
+        now: SimTime,
+        requests: &[Request],
+    ) -> Vec<DeferredResponse> {
+        self.submit_batch(now, requests)
+            .into_iter()
+            .map(DeferredResponse::Ready)
+            .collect()
+    }
 }
 
 impl ShardUnit for FlStore {
@@ -126,6 +164,14 @@ impl ShardUnit for FlStore {
 
     fn reclaim(&mut self, need: ByteSize) {
         let _ = FlStore::reclaim(self, need);
+    }
+
+    fn submit_batch_deferred(
+        &mut self,
+        now: SimTime,
+        requests: &[Request],
+    ) -> Vec<DeferredResponse> {
+        FlStore::submit_batch_deferred(self, now, requests)
     }
 }
 
@@ -146,14 +192,109 @@ fn shard_of_job(job: JobId, shards: usize) -> usize {
     (x % shards as u64) as usize
 }
 
+/// One deferred workload kernel published for any worker to finish. The
+/// reply slot is the kernel's index *within its owning run*; the result
+/// flows back to the owner, who merges it into submission order.
+struct StealTask {
+    slot: usize,
+    work: DeferredResponse,
+    reply: Sender<(usize, Response)>,
+}
+
+impl StealTask {
+    /// Runs the kernel and sends the response home. A dead owner is fine:
+    /// it can only mean the plane is tearing down after a panic.
+    fn finish(self) {
+        let _ = self.reply.send((self.slot, self.work.finish()));
+    }
+}
+
+/// The per-flush work-stealing plane: one task deque per worker, each
+/// behind one consolidated mutex (no split locks), plus the count of
+/// workers still able to publish. Locks are never nested — a task is
+/// popped under its queue's lock and *finished after the guard drops* —
+/// and each mutex is named so the lock-order detector can identify it in
+/// witness stacks.
+struct StealPlane {
+    queues: Vec<Mutex<VecDeque<StealTask>>>,
+    /// Workers still executing a `Batch` segment (and thus still able to
+    /// push tasks). Assist workers exit only once this hits zero *and*
+    /// every queue is empty.
+    producers: AtomicUsize,
+}
+
+impl StealPlane {
+    fn new(workers: usize, producers: usize) -> Self {
+        StealPlane {
+            queues: (0..workers)
+                .map(|_| Mutex::named(VecDeque::new(), "exec.steal.queue"))
+                .collect(),
+            producers: AtomicUsize::new(producers),
+        }
+    }
+
+    /// Publishes one task onto `owner`'s deque.
+    fn push(&self, owner: usize, task: StealTask) {
+        self.queues[owner].lock().push_back(task);
+    }
+
+    /// Takes the next task: `self_id`'s own deque first (oldest first, so
+    /// local work resolves in submission order), then steals round-robin
+    /// from the other workers' deques.
+    fn grab(&self, self_id: usize) -> Option<StealTask> {
+        if let Some(task) = self.queues[self_id].lock().pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for step in 1..n {
+            let victim = (self_id + step) % n;
+            if let Some(task) = self.queues[victim].lock().pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// A producer finished its segment and will publish no more tasks.
+    /// Release: every push this worker made happens-before any thread that
+    /// observes the decrement (the Acquire load in [`StealPlane::idle`]),
+    /// so a zero count proves no task can appear afterwards.
+    fn retire(&self) {
+        self.producers.fetch_sub(1, Ordering::Release);
+    }
+
+    /// True once no task exists and none can ever appear. The producer
+    /// count must be checked *before* the queues: with zero producers
+    /// (Acquire, pairing with the Release in [`StealPlane::retire`]) every
+    /// push is already visible, so empty queues are conclusive. Checking
+    /// in the opposite order could miss a task pushed between the two
+    /// reads.
+    fn idle(&self) -> bool {
+        if self.producers.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        self.queues.iter().all(|q| q.lock().is_empty())
+    }
+}
+
 /// Work and control messages a shard worker understands.
 enum Command<U> {
     /// Execute this shard's slice of one submission segment. `items` pairs
     /// each envelope with its submission index; the reply carries the same
     /// indices so the caller can merge responses into submission order.
+    /// When a steal plane rides along, this worker defers its serve
+    /// kernels onto it (and retires as a producer when done).
     Batch {
         now: SimTime,
         items: Vec<(usize, Request)>,
+        plane: Option<Arc<StealPlane>>,
+        reply: Sender<Vec<(usize, Response)>>,
+    },
+    /// Steal deferred kernels from busy workers until the plane drains,
+    /// then reply with an (empty) merge chunk so the caller's accounting
+    /// is uniform across commands.
+    Assist {
+        plane: Arc<StealPlane>,
         reply: Sender<Vec<(usize, Response)>>,
     },
     /// Report each owned unit's stats response (for barrier aggregation).
@@ -207,9 +348,30 @@ impl<U: ShardUnit> Shard<U> {
     fn run(mut self, rx: Receiver<Command<U>>) {
         while let Ok(cmd) = rx.recv() {
             match cmd {
-                Command::Batch { now, items, reply } => {
-                    let out = self.execute(now, items);
+                Command::Batch {
+                    now,
+                    items,
+                    plane,
+                    reply,
+                } => {
+                    let out = self.execute(now, items, plane.as_deref());
+                    if let Some(plane) = &plane {
+                        plane.retire();
+                    }
                     let _ = reply.send(out);
+                }
+                Command::Assist { plane, reply } => {
+                    loop {
+                        if let Some(task) = plane.grab(self.id) {
+                            task.finish();
+                            continue;
+                        }
+                        if plane.idle() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    let _ = reply.send(Vec::new());
                 }
                 Command::Stats { now, reply } => {
                     let out = self
@@ -273,7 +435,12 @@ impl<U: ShardUnit> Shard<U> {
     /// unit amortizes its fixed per-request work across the run. Serve
     /// envelopes are recorded in the shared request tracker around
     /// execution (dispatched to this worker's lane, completed on return).
-    fn execute(&mut self, now: SimTime, items: Vec<(usize, Request)>) -> Vec<(usize, Response)> {
+    fn execute(
+        &mut self,
+        now: SimTime,
+        items: Vec<(usize, Request)>,
+        plane: Option<&StealPlane>,
+    ) -> Vec<(usize, Response)> {
         let mut out = Vec::with_capacity(items.len());
         let mut slots: Vec<usize> = Vec::new();
         let mut run: Vec<Request> = Vec::new();
@@ -286,7 +453,7 @@ impl<U: ShardUnit> Shard<U> {
                 .expect("the executor routes only job-addressed envelopes to shards");
             if current != Some(job) {
                 if let Some(prev) = current {
-                    self.flush_run(now, prev, &mut slots, &mut run, &mut out);
+                    self.flush_run(now, prev, &mut slots, &mut run, &mut out, plane);
                 }
                 current = Some(job);
             }
@@ -294,13 +461,17 @@ impl<U: ShardUnit> Shard<U> {
             run.push(request);
         }
         if let Some(job) = current {
-            self.flush_run(now, job, &mut slots, &mut run, &mut out);
+            self.flush_run(now, job, &mut slots, &mut run, &mut out, plane);
         }
         out
     }
 
-    /// Serves one same-job run through the owning unit's `submit_batch`,
-    /// draining `slots`/`run` into `out`.
+    /// Serves one same-job run through the owning unit, draining
+    /// `slots`/`run` into `out`. With a steal plane the unit's bookkeeping
+    /// runs deferred ([`ShardUnit::submit_batch_deferred`]) and the pure
+    /// kernels fan out across workers; without one the run executes
+    /// inline. Both paths yield bit-identical responses — kernels are
+    /// pure, and results merge back by index within the run.
     fn flush_run(
         &mut self,
         now: SimTime,
@@ -308,6 +479,7 @@ impl<U: ShardUnit> Shard<U> {
         slots: &mut Vec<usize>,
         run: &mut Vec<Request>,
         out: &mut Vec<(usize, Response)>,
+        plane: Option<&StealPlane>,
     ) {
         let lane = flstore_serverless::function::FunctionId::from_raw(self.id as u64);
         let unit_ix = *self
@@ -319,7 +491,51 @@ impl<U: ShardUnit> Shard<U> {
                 self.tracker.dispatch(w.id, vec![lane]);
             }
         }
-        let responses = self.units[unit_ix].1.submit_batch(now, run);
+        let responses = match plane {
+            None => self.units[unit_ix].1.submit_batch(now, run),
+            Some(plane) => {
+                let deferred = self.units[unit_ix].1.submit_batch_deferred(now, run);
+                debug_assert_eq!(deferred.len(), run.len());
+                let mut resolved: Vec<Option<Response>> = Vec::new();
+                resolved.resize_with(deferred.len(), || None);
+                let (tx, rx) = mpsc::channel();
+                let mut outstanding = 0usize;
+                for (i, response) in deferred.into_iter().enumerate() {
+                    match response {
+                        DeferredResponse::Ready(response) => resolved[i] = Some(response),
+                        pending => {
+                            outstanding += 1;
+                            plane.push(
+                                self.id,
+                                StealTask {
+                                    slot: i,
+                                    work: pending,
+                                    reply: tx.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                // Drop the publishing handle so only in-flight tasks keep
+                // the channel open: a thief dying mid-kernel closes it and
+                // the recv below reports the loss instead of hanging.
+                drop(tx);
+                // Help first — own deque in submission order, then steal
+                // from the other workers — and only then block for results
+                // still computing on thieves.
+                while let Some(task) = plane.grab(self.id) {
+                    task.finish();
+                }
+                for _ in 0..outstanding {
+                    let (i, response) = rx.recv().expect("a shard worker died mid-serve");
+                    resolved[i] = Some(response);
+                }
+                resolved
+                    .into_iter()
+                    .map(|r| r.expect("every deferred slot resolves"))
+                    .collect()
+            }
+        };
         debug_assert_eq!(responses.len(), run.len());
         for ((slot, request), response) in slots.drain(..).zip(run.drain(..)).zip(responses) {
             if let Request::Serve(w) = &request {
@@ -564,31 +780,50 @@ impl<U: ShardUnit + 'static> ShardedExecutor<U> {
     }
 
     /// Fans the accumulated per-shard queues out to the workers and merges
-    /// the responses back into `responses` by submission index.
+    /// the responses back into `responses` by submission index. With more
+    /// than one worker, a [`StealPlane`] rides along: busy workers defer
+    /// their serve kernels onto it and idle workers are sent to assist, so
+    /// even a single hot job's serves spread across every core.
     fn flush(
         &self,
         now: SimTime,
         pending: &mut [Vec<(usize, Request)>],
         responses: &mut [Option<Response>],
     ) {
+        let busy: Vec<bool> = pending.iter().map(|items| !items.is_empty()).collect();
+        let producers = busy.iter().filter(|&&b| b).count();
+        if producers == 0 {
+            return;
+        }
+        // A single-worker plane has nobody to steal from or assist: skip
+        // the deferral machinery and execute inline.
+        let plane = (self.workers.len() > 1)
+            .then(|| Arc::new(StealPlane::new(self.workers.len(), producers)));
         let (tx, rx) = mpsc::channel();
         let mut expected = 0;
         for (shard, items) in pending.iter_mut().enumerate() {
-            if items.is_empty() {
-                continue;
-            }
-            expected += items.len();
             let sender = self.workers[shard]
                 .sender
                 .as_ref()
                 .expect("workers live until drop");
-            sender
-                .send(Command::Batch {
-                    now,
-                    items: std::mem::take(items),
-                    reply: tx.clone(),
-                })
-                .expect("worker accepts commands");
+            if busy[shard] {
+                expected += items.len();
+                sender
+                    .send(Command::Batch {
+                        now,
+                        items: std::mem::take(items),
+                        plane: plane.clone(),
+                        reply: tx.clone(),
+                    })
+                    .expect("worker accepts commands");
+            } else if let Some(plane) = &plane {
+                sender
+                    .send(Command::Assist {
+                        plane: Arc::clone(plane),
+                        reply: tx.clone(),
+                    })
+                    .expect("worker accepts commands");
+            }
         }
         drop(tx);
         let mut merged = 0;
@@ -955,6 +1190,50 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn empty_executor_is_rejected() {
         let _ = ShardedExecutor::<FlStore>::new(Vec::new(), 2);
+    }
+
+    #[test]
+    fn hot_tenant_serves_match_sequential_under_stealing() {
+        // One job, many workers: every serve lands on the owner shard and
+        // its kernels are stolen by the three idle assists. The responses
+        // (and the window cost fold) must match sequential submission
+        // bit-for-bit.
+        let (front, round) = loaded_front(&[1]);
+        let (mut sequential, _) = loaded_front(&[1]);
+        let mut exec = ShardedExecutor::from_tenants(front, 4);
+        let now = SimTime::from_secs(3600);
+        let batch: Vec<Request> = (0..32).map(|i| serve(i + 1, 1, round)).collect();
+        let parallel = exec.submit_batch(now, &batch);
+        let expected: Vec<Response> = batch
+            .iter()
+            .map(|r| sequential.submit(now, r.clone()))
+            .collect();
+        assert_eq!(parallel, expected);
+        assert_eq!(
+            Service::window_cost(&mut exec, now),
+            Service::window_cost(&mut sequential, now)
+        );
+    }
+
+    #[test]
+    fn stealing_keeps_tracker_attribution_on_the_owner_lane() {
+        // Kernels may finish on any worker, but dispatch/completion are
+        // recorded by the owner: every serve's tracker entry must name
+        // exactly the owner shard's lane.
+        let (front, round) = loaded_front(&[1]);
+        let mut exec = ShardedExecutor::from_tenants(front, 4);
+        let owner = exec.shard_of(JobId::new(1)).expect("job 1 is owned");
+        let lane = flstore_serverless::function::FunctionId::from_raw(owner as u64);
+        let now = SimTime::from_secs(3600);
+        let batch: Vec<Request> = (0..16).map(|i| serve(i + 1, 1, round)).collect();
+        let responses = exec.submit_batch(now, &batch);
+        assert!(responses.iter().all(|r| r.error().is_none()));
+        for i in 0..16u64 {
+            let id = RequestId::new(i + 1);
+            let entry = exec.tracker().entry(id).expect("serve was dispatched");
+            assert_eq!(entry.functions, vec![lane], "request {id:?}");
+            assert!(entry.done, "request {id:?} completed");
+        }
     }
 
     #[test]

@@ -35,7 +35,8 @@ use flstore_sim::time::SimDuration;
 fn usage() -> ! {
     eprintln!(
         "usage: flstore-net --list-frames\n       flstore-net serve [--addr HOST:PORT] \
-         [--jobs N] [--threads N] [--max-conns N] [--max-inflight N]\n       \
+         [--jobs N] [--threads N (0 = all cores)] [--key-shards K] [--max-conns N]\n       \
+         [--max-inflight N]\n       \
          [--data-dir DIR] [--flush-every N] [--snapshot-every N] [--spill]"
     );
     std::process::exit(2);
@@ -75,6 +76,12 @@ fn main() {
             "--addr" => addr = parse(&mut iter, "--addr"),
             "--jobs" => jobs = parse(&mut iter, "--jobs"),
             "--threads" => threads = parse(&mut iter, "--threads"),
+            // Process-wide default MetaKey shard count: unobservable in
+            // bytes (responses/ledgers identical at any K), so it is not
+            // part of the serialized config.
+            "--key-shards" => {
+                flstore_core::engine::set_default_key_shards(parse(&mut iter, "--key-shards"))
+            }
             "--max-conns" => config.max_connections = parse(&mut iter, "--max-conns"),
             "--max-inflight" => config.max_inflight = parse(&mut iter, "--max-inflight"),
             "--retry-after-us" => {
@@ -138,6 +145,12 @@ fn main() {
             config.initial_clock = config.initial_clock.max(unit.clock());
         }
         println!("durable: {recovered} job(s) recovered from ledger");
+    }
+    if threads == 0 {
+        threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        eprintln!("--threads 0: resolved to {threads} available core(s)");
     }
     let service: Box<dyn Service + Send> = if threads > 1 {
         Box::new(ShardedExecutor::new(units, threads))

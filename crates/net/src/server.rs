@@ -88,7 +88,10 @@ impl Default for ServerConfig {
 /// are a single compare-and-swap, so concurrent claimants can never
 /// overshoot the cap (no check-then-act window).
 fn try_acquire(counter: &AtomicUsize, cap: usize) -> bool {
-    let mut current = counter.load(Ordering::Acquire);
+    // Relaxed: the counter carries the whole protocol — no memory is
+    // published through it — and the CAS alone guarantees the cap is
+    // never overshot; stronger orderings would buy nothing here.
+    let mut current = counter.load(Ordering::Relaxed);
     loop {
         if current >= cap {
             return false;
@@ -96,8 +99,8 @@ fn try_acquire(counter: &AtomicUsize, cap: usize) -> bool {
         match counter.compare_exchange_weak(
             current,
             current + 1,
-            Ordering::AcqRel,
-            Ordering::Acquire,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
         ) {
             Ok(_) => return true,
             Err(seen) => current = seen,
@@ -221,7 +224,11 @@ impl NetServer {
     }
 
     fn stop(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        // AcqRel, not SeqCst: Release publishes everything before the stop
+        // to the accept thread's Acquire load, and the Acquire half makes
+        // the swap's idempotence check race-free; no site needs a single
+        // total order across *other* atomics.
+        if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
         // Wake the blocking accept() with a throwaway connection.
@@ -262,7 +269,10 @@ fn accept_loop(
     inflight: Arc<AtomicUsize>,
 ) {
     for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
+        // Acquire pairs with the Release half of the shutdown swap: once
+        // the flag reads true, everything `stop()` did before setting it
+        // is visible here.
+        if shutdown.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { continue };
@@ -271,11 +281,14 @@ fn accept_loop(
             continue;
         }
         let Ok(read_half) = stream.try_clone() else {
-            connections.fetch_sub(1, Ordering::AcqRel);
+            // Relaxed: releasing a slot publishes no memory — connection
+            // teardown synchronizes via its channels and mutexes.
+            connections.fetch_sub(1, Ordering::Relaxed);
             continue;
         };
         let Ok(registered) = stream.try_clone() else {
-            connections.fetch_sub(1, Ordering::AcqRel);
+            // Relaxed: same slot-release as above, no memory published.
+            connections.fetch_sub(1, Ordering::Relaxed);
             continue;
         };
         registry.lock().push(registered);
@@ -293,7 +306,9 @@ fn accept_loop(
                 let config = config.clone();
                 move || {
                     reader_loop(read_half, engine_tx, writer_tx, inflight, &config);
-                    connections.fetch_sub(1, Ordering::AcqRel);
+                    // Relaxed: slot release only; the reader's work is
+                    // already synchronized through the engine channel.
+                    connections.fetch_sub(1, Ordering::Relaxed);
                 }
             });
         let mut handles = handles.lock();
@@ -435,7 +450,10 @@ fn engine_loop(
             let group = &jobs[start..end];
             let requests: Vec<Request> = group.iter().map(|j| j.request.clone()).collect();
             let responses = service.submit_batch(clock, &requests);
-            inflight.fetch_sub(group.len(), Ordering::AcqRel);
+            // Relaxed: the in-flight gauge only bounds admission; the
+            // responses themselves flow through the reply channels, which
+            // carry the necessary ordering.
+            inflight.fetch_sub(group.len(), Ordering::Relaxed);
             for (job, response) in group.iter().zip(responses) {
                 // A closed connection just drops its responses.
                 let _ = job.reply.send((job.seq, response));

@@ -26,14 +26,19 @@
 #      byte-diffed against the sequential run via
 #      scripts/compare_results.sh (sanctioned wall-clock fields
 #      excepted) — the sharded executor must be bit-for-bit sequential.
-#  11. net smoke: the real server binary + load generator over loopback
+#  11. intra-job determinism: the sweep a third time with --threads 4
+#      --key-shards 4 (MetaKey-sharded cache engines, work-stealing
+#      serves, lock-order armed) into results-smoke-keyshards4/,
+#      byte-diffed against the sequential run — the key-shard layout
+#      must be unobservable in every result byte.
+#  12. net smoke: the real server binary + load generator over loopback
 #      via scripts/net_smoke.sh — closed-loop reports byte-diffed across
 #      shard counts, overload asserted typed (zero transport errors),
 #      paced arrivals asserted result-transparent.
-#  12. recovery smoke: a durable server SIGKILL'd mid-life and recovered
+#  13. recovery smoke: a durable server SIGKILL'd mid-life and recovered
 #      from its write-ahead ledger via scripts/recovery_smoke.sh —
 #      served responses byte-diffed against an uninterrupted run.
-#      Skip 9–12 with --skip-smoke for a quick edit-compile loop.
+#      Skip 9–13 with --skip-smoke for a quick edit-compile loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -92,8 +97,17 @@ if [ "$skip_smoke" -eq 0 ]; then
     export FLSTORE_RESULTS_DIR=results-smoke-threads4
     rm -rf results-smoke-threads4
     run cargo run --release -p flstore-bench --features lock-order --bin figures -- all --fast --threads 4
-    unset FLSTORE_RESULTS_DIR
     run scripts/compare_results.sh results-smoke results-smoke-threads4
+
+    # Intra-job determinism gate: the same sweep with every cache engine
+    # MetaKey-sharded 4 ways — serves run through the work-stealing
+    # plane — must also reproduce the sequential bytes. The shard layout
+    # is a serve-phase fact; it may never reach a result file.
+    export FLSTORE_RESULTS_DIR=results-smoke-keyshards4
+    rm -rf results-smoke-keyshards4
+    run cargo run --release -p flstore-bench --features lock-order --bin figures -- all --fast --threads 4 --key-shards 4
+    unset FLSTORE_RESULTS_DIR
+    run scripts/compare_results.sh results-smoke results-smoke-keyshards4
 
     # Network plane smoke: real server binary + load generator over
     # loopback, lock-order armed; closed-loop determinism across shard
