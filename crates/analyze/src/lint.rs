@@ -101,6 +101,7 @@ const DETERMINISM_PREFIXES: &[&str] = &[
     "crates/net/src/",
     "crates/loadgen/src/",
     "crates/durability/src/",
+    "crates/cluster/src/",
 ];
 
 /// True when `rel` falls under a determinism-critical crate's `src/`.

@@ -3,8 +3,8 @@
 #![forbid(unsafe_code)]
 
 use flstore_bench::{
-    breakdown, durability, headline, inventory, jobs, keyshard, motivation, netserve, policies,
-    robustness, tenancy, Scale,
+    breakdown, cluster, durability, headline, inventory, jobs, keyshard, motivation, netserve,
+    policies, robustness, tenancy, Scale,
 };
 
 type Experiment = fn(Scale) -> serde_json::Value;
@@ -34,6 +34,7 @@ const EXPERIMENTS: &[(&str, Experiment, &str)] = &[
     ("netserve", netserve::netserve, "netserve"),
     ("durability", durability::durability, "durability"),
     ("keyshard", keyshard::keyshard, "keyshard"),
+    ("cluster", cluster::cluster, "cluster"),
 ];
 
 /// Criterion bench targets (`cargo bench --bench <name>`), one per hot

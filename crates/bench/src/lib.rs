@@ -24,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod breakdown;
+pub mod cluster;
 pub mod durability;
 pub mod headline;
 pub mod inventory;

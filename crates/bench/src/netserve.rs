@@ -82,7 +82,7 @@ pub fn netserve(scale: Scale) -> Value {
     ));
     let server = NetServer::bind(backend(), ServerConfig::default()).expect("bind loopback");
     let addr = server.local_addr().to_string();
-    let closed = run_closed(&addr, &schedule, 16).expect("connect to in-process server");
+    let closed = run_closed(&addr, &schedule, 16, 0).expect("connect to in-process server");
     server.shutdown();
     assert_eq!(
         closed.transport_errors, 0,

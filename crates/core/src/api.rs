@@ -201,6 +201,33 @@ pub enum ApiError {
         /// envelopes stay byte-deterministic under load.
         retry_after_hint: SimDuration,
     },
+    /// The replica currently fronting this job is unreachable (killed or
+    /// partitioned) and the cluster has not finished failing over yet.
+    /// Nothing was executed; the envelope is safe to retry, and by the
+    /// hinted time the failover window has usually promoted a surviving
+    /// replica. This is the cluster plane's typed redirect — a client that
+    /// retries within its budget survives a node loss without a dropped
+    /// frame or a connection reset.
+    ///
+    /// ```
+    /// use flstore_core::api::ApiError;
+    /// use flstore_fl::ids::JobId;
+    /// use flstore_sim::time::SimDuration;
+    ///
+    /// let err = ApiError::Relocated {
+    ///     job: JobId::new(7),
+    ///     retry_after_hint: SimDuration::from_millis(5),
+    /// };
+    /// assert_eq!(err.to_string(), "relocated: job-7 is failing over; retry after 5000us");
+    /// ```
+    Relocated {
+        /// The job whose replica set is mid-failover.
+        job: JobId,
+        /// How long the client should wait before retrying. Like
+        /// [`ApiError::Overloaded`], a fixed configured value so redirect
+        /// envelopes stay byte-deterministic under churn.
+        retry_after_hint: SimDuration,
+    },
 }
 
 impl fmt::Display for ApiError {
@@ -232,6 +259,16 @@ impl fmt::Display for ApiError {
                     retry_after_hint.as_micros()
                 )
             }
+            ApiError::Relocated {
+                job,
+                retry_after_hint,
+            } => {
+                write!(
+                    f,
+                    "relocated: {job} is failing over; retry after {}us",
+                    retry_after_hint.as_micros()
+                )
+            }
         }
     }
 }
@@ -242,7 +279,8 @@ impl Error for ApiError {
             ApiError::UnknownJob { .. }
             | ApiError::QuotaExceeded { .. }
             | ApiError::NoData { .. }
-            | ApiError::Overloaded { .. } => None,
+            | ApiError::Overloaded { .. }
+            | ApiError::Relocated { .. } => None,
             ApiError::Store(e) => Some(e),
             ApiError::Workload(e) => Some(e),
             ApiError::Platform(e) => Some(e),

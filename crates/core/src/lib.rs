@@ -14,6 +14,10 @@
 //!   static-ablation caching policies.
 //! * [`store`] — [`FlStore`]: ingest rounds, serve requests
 //!   with locality-aware execution, replicate, fail over, re-fetch.
+//! * [`placement`] — the [`PlacementMap`]
+//!   boundary: one replica-repair implementation shared by the
+//!   single-store path (function loss) and the `flstore-cluster` path
+//!   (node loss).
 //! * [`tenancy`] — [`MultiTenantStore`]: isolated
 //!   per-job caches on one deployment (paper Appendix A).
 //! * [`quota`] — per-tenant memory budgets and the deterministic
@@ -71,6 +75,7 @@ pub mod api;
 pub mod durable;
 pub mod engine;
 pub mod error;
+pub mod placement;
 pub mod policy;
 pub mod quota;
 pub mod store;
@@ -88,6 +93,7 @@ pub use durable::{DurabilityConfig, LedgerEvent, RecordSink, SpillBackend, State
 pub use engine::CacheEngine;
 pub use error::FlStoreError;
 pub use flstore_workloads::service::{RequestOutcome, ServiceLedger};
+pub use placement::{repair_after_loss, PlacementMap, RepairReport};
 pub use policy::{
     CachingPolicy, EvictionDiscipline, PolicyActions, ReactivePolicy, StaticPolicy, TailoredPolicy,
 };

@@ -1,0 +1,213 @@
+//! The placement boundary: one replica-repair algorithm for every
+//! serving topology.
+//!
+//! FLStore keeps cached objects replicated across holders — serverless
+//! function instances inside a single [`FlStore`](crate::store::FlStore),
+//! or whole store nodes inside a `flstore-cluster` deployment. When a
+//! holder is lost (platform reclamation, simulated node kill), the same
+//! repair discipline applies regardless of the layer:
+//!
+//! 1. enumerate the placement units the lost holder carried, in a
+//!    deterministic (sorted) order,
+//! 2. drop the holder from the placement index,
+//! 3. for each affected unit, copy from the first surviving replica back
+//!    up to the target factor — or record the unit as orphaned when no
+//!    survivor remains (the next layer down is the fallback).
+//!
+//! [`PlacementMap`] is the trait boundary that lets
+//! [`repair_after_loss`] implement those steps once. The single-store
+//! path (`FlStore::handle_reclaimed`, where holders are
+//! [`FunctionId`](flstore_serverless::function::FunctionId)s and units
+//! are [`MetaKey`](flstore_fl::metadata::MetaKey)s) is the 1-node case;
+//! the cluster path (holders are store nodes, units are whole jobs)
+//! reuses the identical control flow, so failover/re-replication
+//! semantics cannot drift between the layers.
+
+use flstore_sim::bytes::ByteSize;
+use flstore_sim::time::SimTime;
+
+use std::fmt::Debug;
+
+/// A replicated placement index that can lose a holder and repair from
+/// survivors. See the [module docs](self) for the shared repair
+/// discipline this abstracts.
+pub trait PlacementMap {
+    /// Something that holds replicas: a function instance in the
+    /// single-store case, a store node in the cluster case.
+    type Holder: Copy + Ord + Debug;
+    /// The unit of placement and repair: a [`MetaKey`] per-object in the
+    /// single-store case, a whole job in the cluster case.
+    ///
+    /// [`MetaKey`]: flstore_fl::metadata::MetaKey
+    type Unit: Ord + Clone + Debug;
+
+    /// Every unit with a replica on `holder`. Order does not matter —
+    /// [`repair_after_loss`] sorts before repairing so placement never
+    /// depends on hash-map iteration order.
+    fn units_on(&self, holder: Self::Holder) -> Vec<Self::Unit>;
+
+    /// Removes `holder` from the placement index. Units left with zero
+    /// replicas stay indexed as orphaned until repaired or dropped by the
+    /// implementation's own bookkeeping.
+    fn drop_holder(&mut self, holder: Self::Holder);
+
+    /// The surviving replica holders of `unit`, best copy-source first.
+    /// Empty when the unit is orphaned.
+    fn survivors(&self, unit: &Self::Unit) -> Vec<Self::Holder>;
+
+    /// Copies `unit` from `source` onto a replacement holder chosen by
+    /// the implementation (the lost holder's ring in the single-store
+    /// case, the lowest-index spare node in the cluster case), billing
+    /// whatever the layer bills for repair traffic. Returns the bytes
+    /// copied, or `None` when no replacement could take the unit (it
+    /// stays at reduced redundancy; lower layers remain the fallback).
+    fn replicate(
+        &mut self,
+        now: SimTime,
+        unit: &Self::Unit,
+        source: Self::Holder,
+        lost: Self::Holder,
+    ) -> Option<ByteSize>;
+}
+
+/// What a [`repair_after_loss`] pass accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Units copied back up from a survivor.
+    pub repaired: usize,
+    /// Units left with no replica (or no placement capacity): served from
+    /// the fallback layer on next access.
+    pub orphaned: usize,
+    /// Total bytes moved by the repair copies.
+    pub bytes_copied: ByteSize,
+}
+
+/// Repairs a [`PlacementMap`] after losing `lost`: drops the holder,
+/// then re-replicates every affected unit from its first survivor, in
+/// sorted unit order so repair placement is deterministic.
+pub fn repair_after_loss<P: PlacementMap + ?Sized>(
+    map: &mut P,
+    now: SimTime,
+    lost: P::Holder,
+) -> RepairReport {
+    let mut affected = map.units_on(lost);
+    // Repair in unit order: units may come out of a hash map, and repair
+    // placement (first-fit) must not depend on its iteration order.
+    affected.sort_unstable();
+    map.drop_holder(lost);
+    let mut report = RepairReport::default();
+    for unit in affected {
+        let Some(source) = map.survivors(&unit).first().copied() else {
+            report.orphaned += 1;
+            continue;
+        };
+        match map.replicate(now, &unit, source, lost) {
+            Some(bytes) => {
+                report.repaired += 1;
+                report.bytes_copied += bytes;
+            }
+            None => report.orphaned += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::collections::BTreeMap;
+
+    /// A toy map: unit → replica holders, with a fixed spare holder that
+    /// accepts up to `spare_capacity` repairs.
+    struct ToyMap {
+        placements: BTreeMap<u32, Vec<u8>>,
+        spare: u8,
+        spare_capacity: usize,
+        unit_bytes: u64,
+    }
+
+    impl PlacementMap for ToyMap {
+        type Holder = u8;
+        type Unit = u32;
+
+        fn units_on(&self, holder: u8) -> Vec<u32> {
+            self.placements
+                .iter()
+                .filter(|(_, holders)| holders.contains(&holder))
+                .map(|(unit, _)| *unit)
+                .collect()
+        }
+
+        fn drop_holder(&mut self, holder: u8) {
+            for holders in self.placements.values_mut() {
+                holders.retain(|h| *h != holder);
+            }
+        }
+
+        fn survivors(&self, unit: &u32) -> Vec<u8> {
+            self.placements.get(unit).cloned().unwrap_or_default()
+        }
+
+        fn replicate(
+            &mut self,
+            _now: SimTime,
+            unit: &u32,
+            _source: u8,
+            _lost: u8,
+        ) -> Option<ByteSize> {
+            if self.spare_capacity == 0 {
+                return None;
+            }
+            self.spare_capacity -= 1;
+            let spare = self.spare;
+            self.placements.entry(*unit).or_default().push(spare);
+            Some(ByteSize::from_bytes(self.unit_bytes))
+        }
+    }
+
+    fn toy() -> ToyMap {
+        ToyMap {
+            placements: BTreeMap::from([(1, vec![0, 1]), (2, vec![0]), (3, vec![1, 2])]),
+            spare: 9,
+            spare_capacity: usize::MAX,
+            unit_bytes: 10,
+        }
+    }
+
+    #[test]
+    fn repairs_from_survivors_and_counts_orphans() {
+        let mut map = toy();
+        let report = repair_after_loss(&mut map, SimTime::ZERO, 0);
+        // Unit 1 had survivor 1 → repaired; unit 2 had no survivor →
+        // orphaned; unit 3 never referenced holder 0 → untouched.
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.orphaned, 1);
+        assert_eq!(report.bytes_copied, ByteSize::from_bytes(10));
+        assert_eq!(map.placements[&1], vec![1, 9]);
+        assert!(map.placements[&2].is_empty());
+        assert_eq!(map.placements[&3], vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_exhaustion_counts_as_orphaned() {
+        let mut map = toy();
+        map.placements.insert(4, vec![0, 2]);
+        map.spare_capacity = 1;
+        let report = repair_after_loss(&mut map, SimTime::ZERO, 0);
+        // Units 1 and 4 both want repair; only one spare slot exists and
+        // sorted order means unit 1 wins deterministically.
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.orphaned, 2); // unit 2 (no survivor) + unit 4 (no capacity)
+        assert_eq!(map.placements[&1], vec![1, 9]);
+        assert_eq!(map.placements[&4], vec![2]);
+    }
+
+    #[test]
+    fn losing_an_unknown_holder_is_a_no_op() {
+        let mut map = toy();
+        let report = repair_after_loss(&mut map, SimTime::ZERO, 7);
+        assert_eq!(report, RepairReport::default());
+        assert_eq!(map.placements.len(), 3);
+    }
+}

@@ -525,49 +525,10 @@ impl FlStore {
         // Keys that referenced this replica lose it; keys with surviving
         // replicas are repaired by copying from a survivor (async,
         // intra-cloud). Orphaned keys fall back to the persistent store on
-        // next access.
-        let mut affected: Vec<MetaKey> = self
-            .engine
-            .keys()
-            .filter(|k| {
-                self.engine
-                    .locations(k)
-                    .map(|l| l.contains(&id))
-                    .unwrap_or(false)
-            })
-            .copied()
-            .collect();
-        // Repair in key order: the keys come out of a hash map, and repair
-        // placement (first-fit) must not depend on its iteration order.
-        affected.sort_unstable();
-        let _orphaned = self.engine.drop_replica(id);
-        let ring = self.ring_of.get(&id).copied().unwrap_or(0);
-        for key in affected {
-            let Some(survivors) = self.engine.locations(&key).map(|l| l.to_vec()) else {
-                continue; // orphaned: persistent store is the fallback
-            };
-            let Some(source) = survivors.first().copied() else {
-                continue;
-            };
-            let blob = self
-                .platform
-                .instance(source)
-                .and_then(|i| i.object(&key.object_key()).cloned());
-            if let Some(blob) = blob {
-                let size = blob.logical_size();
-                if let Some(placed) = self.place_on_ring(now, ring, &key, blob) {
-                    self.engine.add_replica(&key, placed);
-                    // Repair billing: one invocation streaming the object.
-                    let dur = NetworkProfile::INTRA_CLOUD.transfer_time(size);
-                    let cost = self
-                        .cfg
-                        .platform
-                        .pricing
-                        .invocation(self.cfg.function_config.memory, dur);
-                    self.ledger.background_cost.compute += cost;
-                }
-            }
-        }
+        // next access. The control flow lives in the shared
+        // [`repair_after_loss`] discipline — the cluster layer repairs
+        // node loss through the identical path.
+        let _ = crate::placement::repair_after_loss(self, now, id);
     }
 
     fn ring_used_bytes(&self, ring: usize) -> ByteSize {
@@ -1176,5 +1137,66 @@ impl FlStore {
     ) -> Result<ServedRequest, FlStoreError> {
         self.serve_resolved_deferred(now, request, needs, recovered_from_fault)
             .map(PendingServe::finish)
+    }
+}
+
+/// The single-store leg of the placement boundary: holders are function
+/// instances, units are cached [`MetaKey`]s, and repair copies the blob
+/// from a survivor onto the lost function's ring, billing one
+/// intra-cloud invocation per copy. `FlStore::handle_reclaimed` drives
+/// this through [`crate::placement::repair_after_loss`] — the same
+/// algorithm the cluster layer uses for whole-node loss.
+impl crate::placement::PlacementMap for FlStore {
+    type Holder = FunctionId;
+    type Unit = MetaKey;
+
+    fn units_on(&self, holder: FunctionId) -> Vec<MetaKey> {
+        self.engine
+            .keys()
+            .filter(|k| {
+                self.engine
+                    .locations(k)
+                    .map(|l| l.contains(&holder))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect()
+    }
+
+    fn drop_holder(&mut self, holder: FunctionId) {
+        let _orphaned = self.engine.drop_replica(holder);
+    }
+
+    fn survivors(&self, unit: &MetaKey) -> Vec<FunctionId> {
+        self.engine
+            .locations(unit)
+            .map(|l| l.to_vec())
+            .unwrap_or_default()
+    }
+
+    fn replicate(
+        &mut self,
+        now: SimTime,
+        unit: &MetaKey,
+        source: FunctionId,
+        lost: FunctionId,
+    ) -> Option<ByteSize> {
+        let ring = self.ring_of.get(&lost).copied().unwrap_or(0);
+        let blob = self
+            .platform
+            .instance(source)
+            .and_then(|i| i.object(&unit.object_key()).cloned())?;
+        let size = blob.logical_size();
+        let placed = self.place_on_ring(now, ring, unit, blob)?;
+        self.engine.add_replica(unit, placed);
+        // Repair billing: one invocation streaming the object.
+        let dur = NetworkProfile::INTRA_CLOUD.transfer_time(size);
+        let cost = self
+            .cfg
+            .platform
+            .pricing
+            .invocation(self.cfg.function_config.memory, dur);
+        self.ledger.background_cost.compute += cost;
+        Some(size)
     }
 }

@@ -18,6 +18,15 @@
 //! the remaining envelopes exactly as the uninterrupted run would, at
 //! every shard count.
 //!
+//! For the *cluster* plane, the same harness holds the transparency
+//! line of docs/CLUSTER.md: a 1-node, replication-factor-1
+//! `ClusterStore` answers **bit-for-bit** like the bare store it wraps
+//! (responses, ledger, costs, cache fingerprint — single submits and
+//! batch decomposition both), and a cluster whose node is killed at an
+//! arbitrary cut point and recovered from its own per-node ledger
+//! serves the remaining envelopes exactly like an uninterrupted bare
+//! reference.
+//!
 //! Deployments run with reclamation disabled (the figure-generation
 //! setup): batching is *defined* to share one liveness pass across a
 //! batch, so under fault injection a batch may attribute one fault to
@@ -26,6 +35,8 @@
 
 use proptest::prelude::*;
 
+use flstore_cluster::cluster::{ClusterConfig, ClusterStore};
+use flstore_cluster::failure::{FailureKind, FailurePlan};
 use flstore_core::api::{Request, Response, Service};
 use flstore_core::policy::TailoredPolicy;
 use flstore_core::quota::TenantQuota;
@@ -720,6 +731,202 @@ fn assert_recovered_store_equals_uninterrupted(seed: u64, len: usize, cut: usize
     }
 }
 
+/// The store template the cluster properties share with their bare
+/// reference. With `durable`, arms the write-ahead ledger in every
+/// tenant (synchronous commit, snapshots sealing mid-run) so a killed
+/// node has a ledger to recover from.
+fn cluster_template(limited: bool, durable: bool) -> FlStoreConfig {
+    let job = job_config();
+    FlStoreConfig {
+        platform: PlatformConfig {
+            reclaim: ReclaimModel::DISABLED,
+            ..PlatformConfig::default()
+        },
+        capacity_per_ring: limited.then(|| job.round_metadata_bytes() + ByteSize::from_mb(50)),
+        durability: if durable {
+            flstore_core::durable::DurabilityConfig {
+                flush_every: 1,
+                snapshot_every: 8,
+                ..flstore_core::durable::DurabilityConfig::DISABLED
+            }
+        } else {
+            flstore_core::durable::DurabilityConfig::DISABLED
+        },
+        ..FlStoreConfig::for_model(&job.model)
+    }
+}
+
+/// Ingests every round but the last through the public [`Service`]
+/// front — the same envelopes, the same stamps, on both sides of a
+/// cluster-equivalence comparison.
+fn load_via_service(service: &mut dyn Service, records: &[RoundRecord]) {
+    let mut now = SimTime::ZERO;
+    for r in &records[..records.len() - 1] {
+        let response = service.submit(
+            now,
+            Request::Ingest {
+                job: JobId::new(JOB),
+                record: std::sync::Arc::new(r.clone()),
+            },
+        );
+        assert!(response.is_ok(), "loading ingest rejected");
+        now += SimDuration::from_secs(60);
+    }
+}
+
+/// The bare reference a cluster must match: one tenant registered
+/// through the same `MultiTenantStore` template path a cluster node
+/// uses (same per-job seed derivation), loaded identically.
+fn loaded_tenant_reference(limited: bool) -> (FlStore, Vec<RoundRecord>) {
+    let job = job_config();
+    let mut front = MultiTenantStore::new(cluster_template(limited, false));
+    assert!(front.register_job(job.job, job.model));
+    let mut store = front.into_tenants().pop().expect("one tenant").1;
+    let records: Vec<RoundRecord> = FlJobSim::new(job).collect();
+    load_via_service(&mut store, &records);
+    (store, records)
+}
+
+/// A cluster of `nodes` at replication factor `rf`, hosting the one
+/// test job and loaded exactly like [`loaded_tenant_reference`].
+fn loaded_cluster(
+    limited: bool,
+    nodes: usize,
+    rf: usize,
+    durable_root: Option<std::path::PathBuf>,
+) -> (ClusterStore, Vec<RoundRecord>) {
+    let job = job_config();
+    let mut cfg =
+        ClusterConfig::sim_default(nodes, rf, cluster_template(limited, durable_root.is_some()));
+    cfg.durable_root = durable_root;
+    let mut cluster = ClusterStore::new(cfg);
+    assert!(cluster
+        .register_job(job.job, job.model)
+        .expect("durable attach"));
+    let records: Vec<RoundRecord> = FlJobSim::new(job).collect();
+    load_via_service(&mut cluster, &records);
+    (cluster, records)
+}
+
+/// Cluster transparency (docs/CLUSTER.md constraint 1): a 1-node rf=1
+/// `ClusterStore` must be bit-for-bit the bare store it wraps, across
+/// the same envelope mixes every other plane sweeps — per-envelope
+/// responses, batch decomposition, ledger outcomes, window costs, and
+/// the cache fingerprint.
+fn assert_one_node_rf1_cluster_equals_bare(limited: bool, seed: u64, len: usize) {
+    let (mut bare, records) = loaded_tenant_reference(limited);
+    let (mut cluster, _) = loaded_cluster(limited, 1, 1, None);
+    let mix = request_mix(seed, len, &records);
+    let now = SimTime::from_secs(7200);
+
+    let bare_responses: Vec<Response> = mix.iter().map(|r| bare.submit(now, r.clone())).collect();
+    let cluster_responses: Vec<Response> =
+        mix.iter().map(|r| cluster.submit(now, r.clone())).collect();
+    assert_eq!(cluster_responses, bare_responses, "responses differ");
+
+    let primary = cluster
+        .primary_store(JobId::new(JOB))
+        .expect("healthy cluster has a primary");
+    assert_eq!(
+        primary.ledger().outcomes,
+        bare.ledger().outcomes,
+        "ledger entries differ"
+    );
+    assert_eq!(
+        cache_fingerprint(primary),
+        cache_fingerprint(&bare),
+        "cache state differs"
+    );
+    assert_eq!(
+        cluster.total_cost(now),
+        bare.total_cost(now),
+        "window costs differ"
+    );
+
+    // Batch decomposition: the cluster groups serve runs exactly like a
+    // bare store's submit_batch (fresh twins — state is monotonic).
+    let (mut bare_b, _) = loaded_tenant_reference(limited);
+    let (mut cluster_b, _) = loaded_cluster(limited, 1, 1, None);
+    let bare_batch = bare_b.submit_batch(now, &mix);
+    let cluster_batch = cluster_b.submit_batch(now, &mix);
+    assert_eq!(cluster_batch, bare_batch, "batch responses differ");
+    assert_eq!(bare_batch, bare_responses, "batch vs sequential differ");
+}
+
+/// Cluster recovery equivalence: run the mix to an arbitrary cut point
+/// on a durable cluster, kill the acting primary there and bring it
+/// straight back — the next submit drains both events, so the node's
+/// in-memory state is dropped (its ledger flushed on the way down) and
+/// rejoin recovers the tenant from the node's own per-node ledger. The
+/// remaining envelopes, served by the recovered replica, must equal an
+/// uninterrupted bare reference — responses, ledger, costs, cache
+/// fingerprint — with zero rejoin digest mismatches.
+fn assert_cluster_killed_at_cut_and_recovered_equals_uninterrupted(
+    seed: u64,
+    len: usize,
+    cut: usize,
+) {
+    let (mut reference, records) = loaded_tenant_reference(false);
+    let mix = request_mix(seed, len, &records);
+    let cut = cut % (mix.len() + 1);
+    let now = SimTime::from_secs(7200);
+    let reference_responses: Vec<Response> = mix
+        .iter()
+        .map(|r| reference.submit(now, r.clone()))
+        .collect();
+
+    let dir = flstore_durability::testkit::DetTempDir::new(
+        "api-batch-cluster-kill",
+        seed ^ ((len as u64) << 40) ^ ((cut as u64) << 48),
+    );
+    let (mut cluster, _) = loaded_cluster(false, 2, 2, Some(dir.path().to_path_buf()));
+    for (request, expected) in mix[..cut].iter().zip(&reference_responses) {
+        let response = cluster.submit(now, request.clone());
+        assert_eq!(&response, expected, "pre-kill responses");
+    }
+
+    let job = JobId::new(JOB);
+    let primary = cluster.route(job)[0];
+    cluster.inject_plan(
+        &FailurePlan::none()
+            .with(now, primary, FailureKind::Kill)
+            .with(now, primary, FailureKind::Rejoin),
+    );
+    for (request, expected) in mix[cut..].iter().zip(&reference_responses[cut..]) {
+        let response = cluster.submit(now, request.clone());
+        assert_eq!(&response, expected, "post-recovery responses");
+    }
+    // A trailing Stats probe drains the failure events even when the
+    // cut lands at the end of the mix (Stats is read-only: it leaves
+    // ledger, costs, and cache state untouched on both sides).
+    assert_eq!(
+        cluster.submit(now, Request::Stats),
+        reference.submit(now, Request::Stats),
+        "post-recovery stats differ"
+    );
+
+    assert_eq!(cluster.stats().kills, 1, "the kill fired");
+    assert_eq!(cluster.stats().rejoins, 1, "the rejoin fired");
+    assert_eq!(
+        cluster.stats().rejoin_digest_mismatches,
+        0,
+        "ledger recovery missed the kill-time digest"
+    );
+    let recovered = cluster
+        .node_store(primary, job)
+        .expect("rejoined node hosts the job");
+    assert_eq!(
+        recovered.ledger().outcomes,
+        reference.ledger().outcomes,
+        "ledger entries differ"
+    );
+    assert_eq!(
+        cache_fingerprint(recovered),
+        cache_fingerprint(&reference),
+        "cache state differs"
+    );
+}
+
 /// Elastic pressure determinism: two identically-loaded fronts must shed
 /// the exact same `(job, key)` victim sequence from their pressure passes
 /// interleaved with the same traffic.
@@ -821,5 +1028,20 @@ proptest! {
     #[test]
     fn recovered_store_equals_uninterrupted(seed in 0u64..1_000_000, len in 1usize..10, cut in 0usize..16) {
         assert_recovered_store_equals_uninterrupted(seed, len, cut);
+    }
+
+    #[test]
+    fn one_node_rf1_cluster_equals_bare_store(seed in 0u64..1_000_000, len in 1usize..16) {
+        assert_one_node_rf1_cluster_equals_bare(false, seed, len);
+    }
+
+    #[test]
+    fn one_node_rf1_cluster_equals_bare_store_under_capacity_pressure(seed in 0u64..1_000_000, len in 1usize..12) {
+        assert_one_node_rf1_cluster_equals_bare(true, seed, len);
+    }
+
+    #[test]
+    fn cluster_killed_at_any_cut_and_recovered_equals_uninterrupted(seed in 0u64..1_000_000, len in 1usize..10, cut in 0usize..16) {
+        assert_cluster_killed_at_cut_and_recovered_equals_uninterrupted(seed, len, cut);
     }
 }

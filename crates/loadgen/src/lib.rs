@@ -11,7 +11,15 @@
 //! * **closed loop** ([`run_closed`]) — one pipelined connection keeps at
 //!   most `window` requests in flight; a response must arrive before the
 //!   next request past the window is sent. Measures the server's
-//!   unloaded/offered-load latency.
+//!   unloaded/offered-load latency. The closed loop is the retry-capable
+//!   driver: with a nonzero retry budget it honors
+//!   [`Overloaded.retry_after_hint`](flstore_core::api::ApiError::Overloaded)
+//!   and the
+//!   [`Relocated`](flstore_core::api::ApiError::Relocated) redirect
+//!   envelope a cluster front door answers during a failover — the
+//!   envelope is re-sent with its virtual stamp advanced by the full
+//!   hint, so a client rides through a node loss with zero failed
+//!   requests.
 //! * **open loop** ([`run_open_burst`]) — `connections` parallel
 //!   connections blast their share of the schedule without waiting for
 //!   responses, the arrival process a saturated front door sees. Under
@@ -51,7 +59,7 @@ use flstore_core::api::{ApiError, Request, Response};
 use flstore_net::client::NetClient;
 use flstore_net::codec::encode_response;
 use flstore_net::wire::WireError;
-use flstore_sim::time::SimTime;
+use flstore_sim::time::{SimDuration, SimTime};
 use serde_json::{json, Value};
 
 /// Latency percentiles over one run, in microseconds of wall time.
@@ -101,6 +109,15 @@ pub struct LoadReport {
     pub overloaded: usize,
     /// Other typed rejections (admission errors etc.).
     pub rejected: usize,
+    /// Envelopes re-sent after a retryable rejection (`Overloaded` or
+    /// `Relocated`), within the driver's retry budget. Deterministic
+    /// when the server's rejections are: a cluster's failover redirects
+    /// are virtual-clock driven, so this column byte-reproduces across
+    /// runs.
+    pub retried: usize,
+    /// The subset of retries triggered by `Relocated` redirects (a
+    /// cluster node failing over). Deterministic, like `retried`.
+    pub redirected: usize,
     /// Responses the transport lost: connection resets, truncated
     /// streams, decode failures. The front door's contract is that this
     /// stays zero even under overload.
@@ -128,6 +145,8 @@ impl LoadReport {
             "ok": self.ok,
             "overloaded_wall": self.overloaded,
             "rejected": self.rejected,
+            "retried": self.retried,
+            "redirected": self.redirected,
             "transport_errors": self.transport_errors,
             "checksum": format!("{:016x}", self.checksum),
             "elapsed_s_wall": self.elapsed_wall_s,
@@ -167,6 +186,8 @@ fn empty_report() -> LoadReport {
         ok: 0,
         overloaded: 0,
         rejected: 0,
+        retried: 0,
+        redirected: 0,
         transport_errors: 0,
         checksum: FNV_OFFSET,
         elapsed_wall_s: 0.0,
@@ -175,61 +196,105 @@ fn empty_report() -> LoadReport {
     }
 }
 
+/// The retryable-rejection hint, if `response` carries one. The second
+/// field reports whether the rejection was a `Relocated` redirect.
+fn retry_hint(response: &Response) -> Option<(SimDuration, bool)> {
+    match response {
+        Response::Rejected(ApiError::Overloaded { retry_after_hint }) => {
+            Some((*retry_after_hint, false))
+        }
+        Response::Rejected(ApiError::Relocated {
+            retry_after_hint, ..
+        }) => Some((*retry_after_hint, true)),
+        _ => None,
+    }
+}
+
+/// Longest real sleep one retry hint may cost. The *virtual* stamp of a
+/// retried envelope always advances by the full hint (that is what the
+/// server's clock acts on); the wall pause is a pacing courtesy, capped
+/// so a large virtual hint cannot stall a smoke run.
+const MAX_RETRY_SLEEP: std::time::Duration = std::time::Duration::from_millis(50);
+
 /// Closed-loop driver: one connection, at most `window` requests in
 /// flight. Returns a transport error only if the *connection itself*
 /// cannot be established; per-response transport failures are counted
 /// in the report.
+///
+/// `retries` is the per-envelope retry budget: an `Overloaded` or
+/// `Relocated` rejection with budget left is re-sent with its virtual
+/// stamp advanced by the rejection's `retry_after_hint` (and a capped
+/// wall pause), and only the *final* response of each scheduled envelope
+/// is classified and folded into the checksum — so a run that rides
+/// through a cluster failover reports the same deterministic payload
+/// facts as an undisturbed one, plus nonzero `retried`/`redirected`
+/// counts.
 pub fn run_closed(
     addr: &str,
     schedule: &[(SimTime, Request)],
     window: usize,
+    retries: usize,
 ) -> Result<LoadReport, WireError> {
     let window = window.max(1);
     let mut client = NetClient::connect(addr)?;
     let mut report = empty_report();
-    let mut send_times: Vec<Instant> = Vec::with_capacity(schedule.len());
     let mut latencies: Vec<f64> = Vec::with_capacity(schedule.len());
-    let mut received = 0usize;
+
+    // Envelopes not yet written, front-to-back; retries re-enter at the
+    // head with their attempt count bumped, so a retried envelope keeps
+    // its place in the schedule ahead of everything not yet sent (at
+    // window 1 the whole run stays strictly in schedule order — the
+    // configuration failover smokes use).
+    let mut pending: std::collections::VecDeque<(SimTime, Request, usize)> = schedule
+        .iter()
+        .map(|(now, request)| (*now, request.clone(), 0usize))
+        .collect();
+    // Written but unanswered. One pipelined connection answers strictly
+    // in submission order, so the front entry owns the next response.
+    let mut outstanding: std::collections::VecDeque<(SimTime, Request, usize, Instant)> =
+        std::collections::VecDeque::with_capacity(window);
 
     // Wall-clock reads are this crate's purpose (see crate docs and
     // analyze-allowlist.txt).
     #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
-    for (now, request) in schedule {
-        if report.sent - received >= window {
-            match client.recv() {
-                Ok(response) => {
-                    #[allow(clippy::disallowed_methods)]
-                    let at = Instant::now();
-                    latencies.push(at.duration_since(send_times[received]).as_secs_f64() * 1e6);
-                    report.checksum = fold_response(report.checksum, &response);
-                    classify(&response, &mut report);
-                    received += 1;
-                }
-                Err(_) => {
-                    report.transport_errors += 1;
-                    break;
-                }
-            }
+    'drive: while !pending.is_empty() || !outstanding.is_empty() {
+        while outstanding.len() < window {
+            let Some((now, request, attempt)) = pending.pop_front() else {
+                break;
+            };
+            #[allow(clippy::disallowed_methods)]
+            let sent_at = Instant::now();
+            client.send(now, &request)?;
+            report.sent += 1;
+            outstanding.push_back((now, request, attempt, sent_at));
         }
-        #[allow(clippy::disallowed_methods)]
-        send_times.push(Instant::now());
-        client.send(*now, request)?;
-        report.sent += 1;
-    }
-    while received < report.sent {
+        let (now, request, attempt, sent_at) = outstanding.pop_front().expect("window is primed");
         match client.recv() {
             Ok(response) => {
                 #[allow(clippy::disallowed_methods)]
                 let at = Instant::now();
-                latencies.push(at.duration_since(send_times[received]).as_secs_f64() * 1e6);
-                report.checksum = fold_response(report.checksum, &response);
-                classify(&response, &mut report);
-                received += 1;
+                latencies.push(at.duration_since(sent_at).as_secs_f64() * 1e6);
+                match retry_hint(&response) {
+                    Some((hint, relocated)) if attempt < retries => {
+                        report.retried += 1;
+                        if relocated {
+                            report.redirected += 1;
+                        }
+                        std::thread::sleep(
+                            std::time::Duration::from_micros(hint.as_micros()).min(MAX_RETRY_SLEEP),
+                        );
+                        pending.push_front((now + hint, request, attempt + 1));
+                    }
+                    _ => {
+                        report.checksum = fold_response(report.checksum, &response);
+                        classify(&response, &mut report);
+                    }
+                }
             }
             Err(_) => {
-                report.transport_errors += report.sent - received;
-                break;
+                report.transport_errors += 1 + outstanding.len();
+                break 'drive;
             }
         }
     }

@@ -10,6 +10,13 @@
 //! # Serve durably: per-job write-ahead ledgers under DIR, recovered on
 //! # restart (a SIGKILL'd server picks up exactly where the ledger ends):
 //! flstore-net serve --data-dir DIR --flush-every 1 --spill
+//!
+//! # Front a 3-node rf=2 replicated cluster, killing node 1 (process
+//! # death) 1800 virtual seconds in and rejoining it at 3000 s. During
+//! # the detection window clients receive typed Relocated redirects;
+//! # `flstore-loadgen --retries N` rides through with zero failures:
+//! flstore-net serve --cluster-nodes 3 --cluster-rf 2 --detect-ms 60000 \
+//!     --kill 1@1800 --rejoin 1@3000 --data-dir DIR --flush-every 1
 //! ```
 //!
 //! `serve` prints `listening on <addr>` on stdout once bound (scripts
@@ -20,6 +27,8 @@
 
 use std::path::PathBuf;
 
+use flstore_cluster::cluster::{ClusterConfig, ClusterStore};
+use flstore_cluster::failure::{FailureKind, FailurePlan};
 use flstore_core::api::Service;
 use flstore_core::durable::DurabilityConfig;
 use flstore_core::policy::TailoredPolicy;
@@ -30,14 +39,16 @@ use flstore_fl::ids::JobId;
 use flstore_fl::job::FlJobConfig;
 use flstore_net::server::{NetServer, ServerConfig};
 use flstore_net::wire::FRAMES;
-use flstore_sim::time::SimDuration;
+use flstore_sim::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
         "usage: flstore-net --list-frames\n       flstore-net serve [--addr HOST:PORT] \
          [--jobs N] [--threads N (0 = all cores)] [--key-shards K] [--max-conns N]\n       \
          [--max-inflight N]\n       \
-         [--data-dir DIR] [--flush-every N] [--snapshot-every N] [--spill]"
+         [--data-dir DIR] [--flush-every N] [--snapshot-every N] [--spill]\n       \
+         [--cluster-nodes N] [--cluster-rf R] [--detect-ms MS] \
+         [--kill NODE@SECS]... [--rejoin NODE@SECS]..."
     );
     std::process::exit(2);
 }
@@ -45,6 +56,69 @@ fn usage() -> ! {
 fn parse<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
         eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+/// Builds the replicated cluster deployment: `jobs` quick-test jobs slot
+/// across `nodes` simulated store nodes at replication factor `rf`, with
+/// the failure schedule injected up front (events fire on the virtual
+/// clock as client request stamps pass them).
+#[allow(clippy::too_many_arguments)]
+fn cluster_service(
+    nodes: usize,
+    rf: usize,
+    detect: SimDuration,
+    jobs: u32,
+    durability: DurabilityConfig,
+    data_dir: Option<PathBuf>,
+    kills: &[(usize, u64)],
+    rejoins: &[(usize, u64)],
+) -> ClusterStore {
+    let template_job = FlJobConfig::quick_test(JobId::new(1));
+    let mut cfg = ClusterConfig::sim_default(
+        nodes,
+        rf,
+        FlStoreConfig {
+            durability,
+            ..FlStoreConfig::for_model(&template_job.model)
+        },
+    );
+    cfg.detection_interval = detect;
+    // The redirect hint equals the detection interval, so one
+    // hint-advanced retry is guaranteed to land past failover detection
+    // — `flstore-loadgen --retries 1` suffices to ride through a kill.
+    cfg.redirect_hint = detect;
+    cfg.durable_root = data_dir;
+    let mut cluster = ClusterStore::new(cfg);
+    for j in 1..=jobs.max(1) {
+        let job_cfg = FlJobConfig::quick_test(JobId::new(j));
+        cluster
+            .register_job(job_cfg.job, job_cfg.model)
+            .unwrap_or_else(|e| {
+                eprintln!("register job-{j}: {e}");
+                std::process::exit(1);
+            });
+    }
+    let mut plan = FailurePlan::none();
+    for &(node, secs) in kills {
+        plan = plan.with(SimTime::from_secs(secs), node, FailureKind::Kill);
+    }
+    for &(node, secs) in rejoins {
+        plan = plan.with(SimTime::from_secs(secs), node, FailureKind::Rejoin);
+    }
+    cluster.inject_plan(&plan);
+    cluster
+}
+
+/// Parses a `NODE@SECS` failure-schedule operand (virtual seconds).
+fn parse_node_at(args: &mut std::slice::Iter<'_, String>, flag: &str) -> (usize, u64) {
+    let value: String = parse(args, flag);
+    let parsed = value
+        .split_once('@')
+        .and_then(|(node, secs)| Some((node.parse().ok()?, secs.parse().ok()?)));
+    parsed.unwrap_or_else(|| {
+        eprintln!("{flag} needs NODE@SECS (e.g. {flag} 1@1800)");
         std::process::exit(2);
     })
 }
@@ -70,6 +144,11 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut data_dir: Option<PathBuf> = None;
     let mut durability = DurabilityConfig::DISABLED;
+    let mut cluster_nodes = 0usize;
+    let mut cluster_rf = 2usize;
+    let mut detect = SimDuration::from_millis(500);
+    let mut kills: Vec<(usize, u64)> = Vec::new();
+    let mut rejoins: Vec<(usize, u64)> = Vec::new();
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -88,11 +167,54 @@ fn main() {
                 config.retry_after_hint =
                     SimDuration::from_micros(parse(&mut iter, "--retry-after-us"))
             }
+            "--cluster-nodes" => cluster_nodes = parse(&mut iter, "--cluster-nodes"),
+            "--cluster-rf" => cluster_rf = parse(&mut iter, "--cluster-rf"),
+            "--detect-ms" => detect = SimDuration::from_millis(parse(&mut iter, "--detect-ms")),
+            "--kill" => kills.push(parse_node_at(&mut iter, "--kill")),
+            "--rejoin" => rejoins.push(parse_node_at(&mut iter, "--rejoin")),
             "--data-dir" => data_dir = Some(parse(&mut iter, "--data-dir")),
             "--flush-every" => durability.flush_every = parse(&mut iter, "--flush-every"),
             "--snapshot-every" => durability.snapshot_every = parse(&mut iter, "--snapshot-every"),
             "--spill" => durability.spill = true,
             _ => usage(),
+        }
+    }
+
+    // Cluster mode: the front door drives a replicated ClusterStore
+    // instead of a single store / sharded executor. The cluster
+    // replicates every state-touching envelope internally, so `--threads`
+    // does not apply; `--data-dir` becomes the per-node durable root
+    // (`DIR/node-<i>/job-<j>` ledgers, the rejoin recovery source).
+    if cluster_nodes > 0 {
+        if threads > 1 {
+            eprintln!("--threads is ignored in cluster mode (replication is internal)");
+        }
+        let service = cluster_service(
+            cluster_nodes,
+            cluster_rf,
+            detect,
+            jobs,
+            durability,
+            data_dir,
+            &kills,
+            &rejoins,
+        );
+        println!(
+            "cluster: {cluster_nodes} node(s), rf={cluster_rf}, detection {}ms, \
+             {} kill(s) / {} rejoin(s) scheduled",
+            detect.as_micros() / 1000,
+            kills.len(),
+            rejoins.len()
+        );
+        let server =
+            NetServer::bind_to(addr.as_str(), Box::new(service), config).unwrap_or_else(|e| {
+                eprintln!("bind {addr}: {e}");
+                std::process::exit(1);
+            });
+        println!("listening on {}", server.local_addr());
+        println!("{} job(s); kill the process to stop", jobs.max(1));
+        loop {
+            std::thread::park();
         }
     }
 

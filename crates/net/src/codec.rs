@@ -896,6 +896,14 @@ fn put_api_error(buf: &mut Vec<u8>, e: &ApiError) {
             buf.push(6);
             put_sim_duration(buf, *retry_after_hint);
         }
+        ApiError::Relocated {
+            job,
+            retry_after_hint,
+        } => {
+            buf.push(7);
+            put_job(buf, *job);
+            put_sim_duration(buf, *retry_after_hint);
+        }
     }
 }
 
@@ -946,6 +954,10 @@ fn get_api_error(r: &mut Reader<'_>) -> Result<ApiError, WireError> {
             _ => return Err(WireError::Malformed("unknown platform error tag")),
         },
         6 => ApiError::Overloaded {
+            retry_after_hint: get_sim_duration(r)?,
+        },
+        7 => ApiError::Relocated {
+            job: get_job(r)?,
             retry_after_hint: get_sim_duration(r)?,
         },
         _ => return Err(WireError::Malformed("unknown api error tag")),

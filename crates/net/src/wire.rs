@@ -24,7 +24,7 @@ use std::io::{self, Read, Write};
 
 /// Protocol version carried as the first byte of every frame. Bumped on
 /// any incompatible change to the frame layout or payload encodings.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard bound on a frame's payload length. A length prefix above this is
 /// rejected as [`WireError::Oversized`] *before* any allocation, so a

@@ -34,11 +34,11 @@ fn truncation_at_every_boundary_is_typed() {
 #[test]
 fn bad_version_and_unknown_tag_are_typed() {
     let mut frame = stats_frame();
-    frame[0] = 2;
+    frame[0] = WIRE_VERSION + 1;
     let mut cursor = frame.as_slice();
     assert_eq!(
         read_frame(&mut cursor).expect_err("bad version"),
-        WireError::BadVersion(2)
+        WireError::BadVersion(WIRE_VERSION + 1)
     );
 
     let mut frame = stats_frame();

@@ -295,7 +295,7 @@ impl Mill {
     }
 
     fn api_error(&mut self, pick: u8) -> ApiError {
-        match pick % 8 {
+        match pick % 9 {
             0 => ApiError::UnknownJob {
                 job: JobId::new(self.u32()),
             },
@@ -322,7 +322,11 @@ impl Mill {
                 need: ByteSize::from_bytes(self.u() % (1 << 40)),
                 free: ByteSize::from_bytes(self.u() % (1 << 40)),
             })),
-            _ => ApiError::Overloaded {
+            7 => ApiError::Overloaded {
+                retry_after_hint: SimDuration::from_micros(self.u() % (1 << 40)),
+            },
+            _ => ApiError::Relocated {
+                job: JobId::new(self.u32()),
                 retry_after_hint: SimDuration::from_micros(self.u() % (1 << 40)),
             },
         }
@@ -426,12 +430,20 @@ fn wire_md_worked_examples() {
     let (tag, payload) = encode_request(SimTime::from_micros(5000), &Request::Stats);
     let mut frame = Vec::new();
     write_frame(&mut frame, tag, &payload).expect("vec write");
-    assert_eq!(frame, [0x01, 0x04, 0x02, 0x88, 0x27]);
+    assert_eq!(frame, [0x02, 0x04, 0x02, 0x88, 0x27]);
 
     let (tag, payload) = encode_response(&Response::Rejected(ApiError::Overloaded {
         retry_after_hint: SimDuration::from_micros(1000),
     }));
     let mut frame = Vec::new();
     write_frame(&mut frame, tag, &payload).expect("vec write");
-    assert_eq!(frame, [0x01, 0x85, 0x03, 0x06, 0xe8, 0x07]);
+    assert_eq!(frame, [0x02, 0x85, 0x03, 0x06, 0xe8, 0x07]);
+
+    let (tag, payload) = encode_response(&Response::Rejected(ApiError::Relocated {
+        job: JobId::new(1),
+        retry_after_hint: SimDuration::from_micros(1000),
+    }));
+    let mut frame = Vec::new();
+    write_frame(&mut frame, tag, &payload).expect("vec write");
+    assert_eq!(frame, [0x02, 0x85, 0x04, 0x07, 0x01, 0xe8, 0x07]);
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Drift guard for the cluster-plane spec: the failure-model table in
+# docs/CLUSTER.md (between the cluster-failure-events:begin/end markers)
+# must match `flstore-cluster --list-events` exactly — same event names,
+# same semantics, same order. A failure kind added, removed, or reworded
+# in crates/cluster/src/failure.rs without updating the spec (or vice
+# versa) fails CI here.
+#
+# Usage: scripts/check_cluster_doc.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+actual="$(cargo run -q -p flstore-cluster --bin flstore-cluster -- --list-events)"
+
+# Extract the CLUSTER.md table rows and reduce them to the same
+# tab-separated `name<TAB>summary` shape --list-events emits.
+documented="$(
+    awk '/<!-- cluster-failure-events:begin -->/{f=1; next} /<!-- cluster-failure-events:end -->/{f=0} f' docs/CLUSTER.md |
+        grep '^| `' |
+        sed -E 's/^\| `([^`]+)` \| (.*) \|$/\1\t\2/' |
+        sed -E 's/[[:space:]]+\t/\t/g; s/\t[[:space:]]+/\t/g; s/[[:space:]]+$//'
+)"
+
+if diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >/dev/null; then
+    count="$(printf '%s\n' "$actual" | wc -l)"
+    echo "cluster failure events in sync: $count events match between --list-events and docs/CLUSTER.md"
+else
+    echo "docs/CLUSTER.md failure-model table has drifted from flstore-cluster --list-events:" >&2
+    diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >&2 || true
+    echo >&2
+    echo "update the table between <!-- cluster-failure-events:begin/end --> in docs/CLUSTER.md" >&2
+    echo "(or the FAILURE_EVENTS inventory in crates/cluster/src/failure.rs) so they agree." >&2
+    exit 1
+fi

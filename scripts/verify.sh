@@ -14,7 +14,8 @@
 #   7. determinism lint (analyze: BLOCKING, like CI) + rules/README
 #      drift guard via scripts/check_analyze_rules.sh + wire-protocol
 #      spec drift guard via scripts/check_wire_doc.sh + ledger-format
-#      spec drift guard via scripts/check_ledger_doc.sh
+#      spec drift guard via scripts/check_ledger_doc.sh + cluster-plane
+#      spec drift guard via scripts/check_cluster_doc.sh
 #   8. lock-order detector tests: parking_lot unit tests + the exec
 #      stress/rendezvous/seeded-inversion suite + the net socket suite,
 #      all --features lock-order
@@ -38,7 +39,11 @@
 #  13. recovery smoke: a durable server SIGKILL'd mid-life and recovered
 #      from its write-ahead ledger via scripts/recovery_smoke.sh —
 #      served responses byte-diffed against an uninterrupted run.
-#      Skip 9–13 with --skip-smoke for a quick edit-compile loop.
+#  14. cluster smoke: the net server fronting a 3-node rf=2 cluster with
+#      a node killed mid-run via scripts/cluster_smoke.sh — zero failed
+#      requests after retries, post-failover pass byte-diffed against a
+#      churn-free twin.
+#      Skip 9–14 with --skip-smoke for a quick edit-compile loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -77,6 +82,7 @@ run cargo run -q -p flstore-analyze -- lint
 run scripts/check_analyze_rules.sh
 run scripts/check_wire_doc.sh
 run scripts/check_ledger_doc.sh
+run scripts/check_cluster_doc.sh
 run cargo test -q -p parking_lot --features lock-order
 run cargo test -q -p flstore-exec --features lock-order
 run cargo test -q -p flstore-net --features lock-order
@@ -118,6 +124,12 @@ if [ "$skip_smoke" -eq 0 ]; then
     # recover from the ledger, byte-diff serving against an
     # uninterrupted twin.
     run scripts/recovery_smoke.sh
+
+    # Cluster plane smoke: the net server fronting a 3-node rf=2
+    # cluster, one node killed mid-run; the retrying load generator
+    # must lose zero requests and the post-failover pass must
+    # byte-match a churn-free twin.
+    run scripts/cluster_smoke.sh
 else
     echo
     echo "==> figures smoke SKIPPED (--skip-smoke); CI always runs it"

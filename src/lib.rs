@@ -18,6 +18,7 @@
 //! | [`store`] | `flstore-core` | FLStore: engine, tracker, policies |
 //! | [`baselines`] | `flstore-baselines` | ObjStore-Agg, Cache-Agg |
 //! | [`exec`] | `flstore-exec` | sharded concurrent executor |
+//! | [`cluster`] | `flstore-cluster` | replica sets, failover, node recovery |
 //! | [`net`] | `flstore-net` | wire protocol + TCP front door |
 //! | [`loadgen`] | `flstore-loadgen` | socket-level load generators |
 //! | [`trace`] | `flstore-trace` | traces, drivers, scenarios |
@@ -64,6 +65,7 @@
 
 pub use flstore_baselines as baselines;
 pub use flstore_cloud as cloud;
+pub use flstore_cluster as cluster;
 pub use flstore_core as store;
 pub use flstore_exec as exec;
 pub use flstore_fl as fl;
